@@ -1,0 +1,46 @@
+"""E0 — Fig. 6 (document generation).
+
+Fig. 6 is a table of input-document sizes; the sizes themselves are
+checked in ``tests/test_datagen.py``.  This benchmark measures our
+ToXgene stand-in's generation and parsing throughput so regressions in
+the substrate show up.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import (
+    BIB_DTD,
+    generate_bib,
+    generate_bids,
+    generate_prices,
+)
+from repro.xmldb.parser import parse_document
+from repro.xmldb.serialize import serialize
+
+
+@pytest.mark.parametrize("books", (100, 1000))
+def test_generate_bib(benchmark, books):
+    benchmark.group = f"datagen, n={books}"
+    benchmark(generate_bib, books, 2, seed=7)
+
+
+@pytest.mark.parametrize("books", (100, 1000))
+def test_generate_prices(benchmark, books):
+    benchmark.group = f"datagen, n={books}"
+    benchmark(generate_prices, books, seed=7)
+
+
+@pytest.mark.parametrize("bids", (100, 1000))
+def test_generate_bids(benchmark, bids):
+    benchmark.group = f"datagen, n={bids}"
+    benchmark(generate_bids, bids, seed=7)
+
+
+@pytest.mark.parametrize("books", (100, 1000))
+def test_parse_roundtrip(benchmark, books):
+    """Serialize + reparse a generated bib (XML substrate throughput)."""
+    text = serialize(generate_bib(books, 2, seed=7))
+    benchmark.group = f"xml parse, n={books}"
+    benchmark(parse_document, text)

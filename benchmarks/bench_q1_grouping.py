@@ -1,0 +1,45 @@
+"""E1 — §5.1 table (Grouping, XMP Q1.1.9.4).
+
+Paper table: evaluation time of the nested, outer-join (Eqv. 4),
+grouping (Eqv. 5) and group-Ξ plans over bib.xml with 100/1000/10000
+books and 2/5/10 authors per book.  Paper shape: nested is quadratic
+(0.15 s → 788 s over 100×), the three unnested plans are linear and
+ordered group-Ξ < grouping < outer join.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import LINEAR_SIZES, SIZES, compiled_plan, run_plan
+
+PLANS = ("nested", "outerjoin", "grouping", "group-xi")
+
+
+@pytest.mark.parametrize("books", SIZES)
+@pytest.mark.parametrize("plan", PLANS)
+def test_q1_by_size(benchmark, plan, books):
+    db, compiled = compiled_plan("q1", plan, books=books,
+                                 authors_per_book=2)
+    benchmark.group = f"q1 grouping, books={books}"
+    benchmark(run_plan, db, compiled)
+
+
+@pytest.mark.parametrize("authors", (2, 5, 10))
+@pytest.mark.parametrize("plan", PLANS[1:])  # nested×10 authors is slow
+def test_q1_by_group_size(benchmark, plan, authors):
+    db, compiled = compiled_plan("q1", plan, books=100,
+                                 authors_per_book=authors)
+    benchmark.group = f"q1 grouping, authors/book={authors}"
+    benchmark(run_plan, db, compiled)
+
+
+@pytest.mark.parametrize("books", LINEAR_SIZES)
+@pytest.mark.parametrize("plan", PLANS[1:])
+def test_q1_unnested_scaling(benchmark, plan, books):
+    """Linear scaling of the unnested plans (paper: 0.08→0.57 s over
+    100×, i.e. ~linear; nested grows ~5000×)."""
+    db, compiled = compiled_plan("q1", plan, books=books,
+                                 authors_per_book=2)
+    benchmark.group = f"q1 unnested scaling, books={books}"
+    benchmark(run_plan, db, compiled)

@@ -1,0 +1,26 @@
+"""E1b — §5.1's DBLP paragraph.
+
+On a DBLP-shaped document (books *and* articles, so some authors have
+no book) the side condition of Eqv. 5 fails and the optimizer must stay
+with the outer-join plan of Eqv. 4.  Paper: nested 182h42m vs outer
+join 13.95 s on the 140 MB DBLP; the point is the plan *choice*, which
+``tests/test_rewriter.py`` asserts, and the nested/unnested gap, which
+this benchmark shows at reduced scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import compiled_plan, run_plan
+
+SCALES = ((50, 150), (100, 300))
+
+
+@pytest.mark.parametrize("books,articles", SCALES)
+@pytest.mark.parametrize("plan", ("nested", "outerjoin"))
+def test_q1_dblp(benchmark, plan, books, articles):
+    db, compiled = compiled_plan("q1_dblp", plan, books=books,
+                                 articles=articles)
+    benchmark.group = f"q1 on DBLP, books={books}, articles={articles}"
+    benchmark(run_plan, db, compiled)

@@ -1,0 +1,26 @@
+"""E2 — §5.2 table (Aggregation, XMP Q1.1.9.10).
+
+min(price) per title over prices.xml.  Paper: nested 0.09/1.81/173.51 s
+at 100/1000/10000 books, grouping plan (Eqv. 3) 0.07/0.08/0.19 s.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import LINEAR_SIZES, SIZES, compiled_plan, run_plan
+
+
+@pytest.mark.parametrize("books", SIZES)
+@pytest.mark.parametrize("plan", ("nested", "grouping"))
+def test_q2_by_size(benchmark, plan, books):
+    db, compiled = compiled_plan("q2", plan, books=books)
+    benchmark.group = f"q2 aggregation, books={books}"
+    benchmark(run_plan, db, compiled)
+
+
+@pytest.mark.parametrize("books", LINEAR_SIZES)
+def test_q2_grouping_scaling(benchmark, books):
+    db, compiled = compiled_plan("q2", "grouping", books=books)
+    benchmark.group = f"q2 grouping scaling, books={books}"
+    benchmark(run_plan, db, compiled)

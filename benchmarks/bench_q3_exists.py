@@ -1,0 +1,26 @@
+"""E3 — §5.3 table (Existential quantification I, XMP Q1.1.9.5).
+
+Books having a review, expressed with ``some … satisfies``.  Paper:
+nested 0.10/1.83/175.80 s, semijoin plan (Eqv. 6) 0.08/0.09/0.20 s.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import LINEAR_SIZES, SIZES, compiled_plan, run_plan
+
+
+@pytest.mark.parametrize("books", SIZES)
+@pytest.mark.parametrize("plan", ("nested", "semijoin"))
+def test_q3_by_size(benchmark, plan, books):
+    db, compiled = compiled_plan("q3", plan, books=books)
+    benchmark.group = f"q3 exists, books={books}"
+    benchmark(run_plan, db, compiled)
+
+
+@pytest.mark.parametrize("books", LINEAR_SIZES)
+def test_q3_semijoin_scaling(benchmark, books):
+    db, compiled = compiled_plan("q3", "semijoin", books=books)
+    benchmark.group = f"q3 semijoin scaling, books={books}"
+    benchmark(run_plan, db, compiled)

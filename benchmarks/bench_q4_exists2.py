@@ -1,0 +1,30 @@
+"""E4 — §5.4 table (Existential quantification II, exists()).
+
+Authors of books by Suciu, expressed through ``exists()`` over a
+correlated subquery.  Paper: nested 0.04/1.31/138.8 s, semijoin
+(Eqv. 6) 0.03/0.05/0.30 s, count-grouping (Eqv. 8) 0.02/0.02/0.02 s —
+the grouping plan wins because it saves one scan of the document
+(self-correlation), which our scan counters make explicit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import LINEAR_SIZES, SIZES, compiled_plan, run_plan
+
+
+@pytest.mark.parametrize("books", SIZES)
+@pytest.mark.parametrize("plan", ("nested", "semijoin", "grouping"))
+def test_q4_by_size(benchmark, plan, books):
+    db, compiled = compiled_plan("q4", plan, books=books)
+    benchmark.group = f"q4 exists(), books={books}"
+    benchmark(run_plan, db, compiled)
+
+
+@pytest.mark.parametrize("books", LINEAR_SIZES)
+@pytest.mark.parametrize("plan", ("semijoin", "grouping"))
+def test_q4_unnested_scaling(benchmark, plan, books):
+    db, compiled = compiled_plan("q4", plan, books=books)
+    benchmark.group = f"q4 unnested scaling, books={books}"
+    benchmark(run_plan, db, compiled)

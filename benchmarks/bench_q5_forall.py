@@ -1,0 +1,28 @@
+"""E5 — §5.5 table (Universal quantification).
+
+Authors all of whose books appeared after 1993 (``every … satisfies``).
+Paper: nested 0.12/4.86/507.85 s, anti-semijoin (Eqv. 7)
+0.07/0.08/0.24 s, count-grouping (Eqv. 9) 0.07/0.08/0.23 s.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import LINEAR_SIZES, SIZES, compiled_plan, run_plan
+
+
+@pytest.mark.parametrize("books", SIZES)
+@pytest.mark.parametrize("plan", ("nested", "antijoin", "grouping"))
+def test_q5_by_size(benchmark, plan, books):
+    db, compiled = compiled_plan("q5", plan, books=books)
+    benchmark.group = f"q5 forall, books={books}"
+    benchmark(run_plan, db, compiled)
+
+
+@pytest.mark.parametrize("books", LINEAR_SIZES)
+@pytest.mark.parametrize("plan", ("antijoin", "grouping"))
+def test_q5_unnested_scaling(benchmark, plan, books):
+    db, compiled = compiled_plan("q5", plan, books=books)
+    benchmark.group = f"q5 unnested scaling, books={books}"
+    benchmark(run_plan, db, compiled)

@@ -1,0 +1,27 @@
+"""E6 — §5.6 table (Aggregation in the where clause, R Q1.4.4.14).
+
+Items with at least three bids (SQL HAVING analogue).  Paper: nested
+0.06/0.53/48.1 s at 100/1000/10000 bids, grouping plan (Eqv. 3)
+0.06/0.07/0.10 s.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import LINEAR_SIZES, SIZES, compiled_plan, run_plan
+
+
+@pytest.mark.parametrize("bids", SIZES)
+@pytest.mark.parametrize("plan", ("nested", "grouping"))
+def test_q6_by_size(benchmark, plan, bids):
+    db, compiled = compiled_plan("q6", plan, bids=bids)
+    benchmark.group = f"q6 having, bids={bids}"
+    benchmark(run_plan, db, compiled)
+
+
+@pytest.mark.parametrize("bids", LINEAR_SIZES)
+def test_q6_grouping_scaling(benchmark, bids):
+    db, compiled = compiled_plan("q6", "grouping", bids=bids)
+    benchmark.group = f"q6 grouping scaling, bids={bids}"
+    benchmark(run_plan, db, compiled)

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+This environment is offline and lacks the ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) cannot build; ``python setup.py
+develop`` provides the equivalent editable install without wheels.
+Metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

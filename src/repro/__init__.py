@@ -1,0 +1,61 @@
+"""repro — a reproduction of May, Helmer & Moerkotte,
+"Nested Queries and Quantifiers in an Ordered Context" (ICDE 2004).
+
+The package implements the paper's full pipeline:
+
+- an XML document store with DTD-derived schema reasoning
+  (:mod:`repro.xmldb`) and an XPath subset (:mod:`repro.xpath`);
+- NAL, the order-preserving algebra over sequences of tuples
+  (:mod:`repro.nal`), with both definitional and hash-based physical
+  semantics (:mod:`repro.engine`);
+- the XQuery front end: parser, normalizer, translator
+  (:mod:`repro.xquery`);
+- the unnesting optimizer implementing equivalences 1–9
+  (:mod:`repro.optimizer`);
+- data generators and the benchmark harness regenerating every table of
+  the paper's evaluation (:mod:`repro.datagen`, :mod:`repro.bench`).
+
+Quick start::
+
+    from repro import Database, compile_query
+    from repro.datagen import generate_bib, BIB_DTD
+
+    db = Database()
+    db.register_tree("bib.xml", generate_bib(100, 2), dtd_text=BIB_DTD)
+    q = compile_query('... XQuery ...', db)
+    result = db.execute(q.best().plan)
+    print(result.output)
+"""
+
+from repro.api import CompiledQuery, Database, compile_query
+from repro.engine.executor import (
+    ExecutionResult,
+    analyze_to_string,
+    execute,
+)
+from repro.errors import ReproError
+from repro.nal.pretty import plan_to_dot, plan_to_string
+from repro.optimizer.cost import CostModel, PlanCost
+from repro.optimizer.pushdown import push_selections, reassociate_left
+from repro.optimizer.rewriter import RewriteResult, unnest_plan
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "CompiledQuery",
+    "compile_query",
+    "ExecutionResult",
+    "execute",
+    "analyze_to_string",
+    "plan_to_dot",
+    "plan_to_string",
+    "CostModel",
+    "PlanCost",
+    "push_selections",
+    "reassociate_left",
+    "ReproError",
+    "RewriteResult",
+    "unnest_plan",
+    "__version__",
+]

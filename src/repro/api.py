@@ -1,0 +1,122 @@
+"""High-level public API.
+
+::
+
+    from repro import Database, compile_query
+    from repro.datagen import generate_bib, BIB_DTD
+
+    db = Database()
+    db.register_tree("bib.xml", generate_bib(1000, 2), dtd_text=BIB_DTD)
+    q = compile_query(QUERY, db)
+    print(q.explain())                      # nested plan
+    for alt in q.plans():                   # ranked alternatives
+        result = db.execute(alt.plan)
+        print(alt.label, result.stats["document_scans"])
+"""
+
+from __future__ import annotations
+
+from repro.engine.executor import ExecutionResult, execute
+from repro.nal.algebra import Operator
+from repro.nal.pretty import plan_to_string
+from repro.optimizer.rewriter import RewriteResult, unnest_plan
+from repro.xmldb.document import Document, DocumentStore
+from repro.xmldb.dtd import parse_dtd
+from repro.xmldb.node import Node
+from repro.xquery.normalize import normalize
+from repro.xquery.parser import parse_xquery
+from repro.xquery.translate import Translation, translate
+
+
+class Database:
+    """A document store plus execution entry points."""
+
+    def __init__(self):
+        self.store = DocumentStore()
+
+    # ------------------------------------------------------------------
+    def register_text(self, name: str, text: str,
+                      dtd_text: str | None = None) -> Document:
+        """Parse and register an XML document (DTD from the DOCTYPE or
+        the ``dtd_text`` argument becomes the optimizer's schema)."""
+        return self.store.register_text(name, text, dtd_text)
+
+    def register_tree(self, name: str, root: Node,
+                      dtd_text: str | None = None) -> Document:
+        """Register an already-built tree (e.g. from
+        :mod:`repro.datagen`)."""
+        dtd = parse_dtd(dtd_text) if dtd_text else None
+        return self.store.register_tree(name, root, dtd)
+
+    # ------------------------------------------------------------------
+    def execute(self, plan: Operator, mode: str = "physical",
+                analyze: bool = False) -> ExecutionResult:
+        """Run a plan; returns rows, constructed output and scan stats.
+
+        ``analyze=True`` records per-operator invocation/row counts
+        (EXPLAIN ANALYZE; physical mode only)."""
+        return execute(plan, self.store, mode=mode, analyze=analyze)
+
+
+class CompiledQuery:
+    """A query taken through parse → normalize → translate, with lazy
+    access to the optimizer's plan alternatives."""
+
+    def __init__(self, text: str, db: Database,
+                 ranking: str = "heuristic"):
+        self.text = text
+        self.db = db
+        self.ranking = ranking
+        self.ast = parse_xquery(text)
+        self.normalized = normalize(self.ast)
+        self.translation: Translation = translate(self.normalized,
+                                                  db.store)
+        self._plans: list[RewriteResult] | None = None
+
+    @property
+    def plan(self) -> Operator:
+        """The nested (unoptimized) plan."""
+        return self.translation.plan
+
+    def plans(self) -> list[RewriteResult]:
+        """All plan alternatives, best first ('nested' last under the
+        default heuristic ranking; under ranking="cost" the order is by
+        estimated cost)."""
+        if self._plans is None:
+            self._plans = unnest_plan(self.plan, self.db.store,
+                                      ranking=self.ranking)
+        return self._plans
+
+    def plan_named(self, label: str) -> RewriteResult:
+        """The first alternative with the given label ('nested',
+        'grouping', 'outerjoin', 'semijoin', 'antijoin', 'group-xi',
+        'nestjoin')."""
+        for alt in self.plans():
+            if alt.label == label:
+                return alt
+        known = sorted({a.label for a in self.plans()})
+        raise KeyError(f"no plan labelled {label!r}; available: {known}")
+
+    def best(self) -> RewriteResult:
+        return self.plans()[0]
+
+    def run(self, label: str | None = None,
+            mode: str = "physical") -> ExecutionResult:
+        """Execute the best plan (or the one with the given label)."""
+        alt = self.best() if label is None else self.plan_named(label)
+        return self.db.execute(alt.plan, mode=mode)
+
+    def explain(self, label: str | None = None) -> str:
+        plan = self.plan if label is None else self.plan_named(label).plan
+        return plan_to_string(plan)
+
+
+def compile_query(text: str, db: Database,
+                  ranking: str = "heuristic") -> CompiledQuery:
+    """Parse, normalize and translate an XQuery against a database.
+
+    ``ranking`` selects how plan alternatives are ordered:
+    ``"heuristic"`` (the paper's measured plan hierarchy) or ``"cost"``
+    (the estimator of :mod:`repro.optimizer.cost`).
+    """
+    return CompiledQuery(text, db, ranking=ranking)

@@ -1,0 +1,24 @@
+"""Benchmark harness regenerating the paper's evaluation section.
+
+- :mod:`repro.bench.queries` — the six queries of §5 (verbatim modulo the
+  simplifications the paper itself applies) plus database builders;
+- :mod:`repro.bench.harness` — timing/scan measurement of every plan
+  variant of a query;
+- :mod:`repro.bench.tables` — the paper-style tables, printable via
+  ``python -m repro.bench``.
+"""
+
+from repro.bench.queries import PAPER_QUERIES, PaperQuery, make_database
+from repro.bench.harness import measure_query, MeasuredPlan
+from repro.bench.tables import (
+    PAPER_RESULTS,
+    all_tables,
+    dblp_table,
+    document_size_table,
+    query_table,
+)
+
+__all__ = ["PAPER_QUERIES", "PaperQuery", "make_database",
+           "measure_query", "MeasuredPlan", "PAPER_RESULTS",
+           "all_tables", "dblp_table", "document_size_table",
+           "query_table"]

@@ -1,0 +1,58 @@
+"""Measurement harness: run every plan variant of a paper query and
+collect times, scan counts and outputs."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.api import Database, compile_query
+from repro.bench.queries import PAPER_QUERIES
+
+
+@dataclass
+class MeasuredPlan:
+    label: str
+    applied: tuple[str, ...]
+    seconds: float
+    document_scans: dict[str, int]
+    output: str
+
+    @property
+    def total_scans(self) -> int:
+        return sum(self.document_scans.values())
+
+
+def measure_query(key: str, repeat: int = 1,
+                  labels: tuple[str, ...] | None = None,
+                  **db_params) -> list[MeasuredPlan]:
+    """Compile one of the paper's queries against a freshly generated
+    database and execute each plan variant ``repeat`` times (reporting
+    the minimum, as the paper's timings do)."""
+    spec = PAPER_QUERIES[key]
+    db = spec.build_db(**db_params)
+    compiled = compile_query(spec.text, db)
+    wanted = labels if labels is not None else spec.plan_labels
+    measured: list[MeasuredPlan] = []
+    for label in wanted:
+        alt = compiled.plan_named(label)
+        best = float("inf")
+        result = None
+        for _ in range(max(1, repeat)):
+            result = db.execute(alt.plan)
+            best = min(best, result.elapsed)
+        assert result is not None
+        measured.append(MeasuredPlan(label, alt.applied, best,
+                                     result.stats["document_scans"],
+                                     result.output))
+    return measured
+
+
+def time_plan(db: Database, plan, repeat: int = 1) -> float:
+    """Minimum wall-clock seconds over ``repeat`` executions."""
+    best = float("inf")
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        db.execute(plan)
+        best = min(best, time.perf_counter() - start)
+    return best

@@ -1,0 +1,231 @@
+"""The six queries of the paper's Section 5.
+
+The texts follow the paper (which itself simplified the XQuery use-case
+queries); deviations are noted per query:
+
+- Q4: the paper writes ``let $b2 := $d1//book for $a2 in $b2/author``; we
+  write the equivalent ``for $b2 in $d1//book, $a2 in $b2/author`` (a
+  ``let`` over a node sequence followed by a ``for`` over it denotes the
+  same pairs).  The paper's final §5.4 plan prints ``$a2``, which is not
+  an attribute of the grouped expression — we print ``$a1`` (the authors
+  of the qualifying pairs), which is what the query's return clause says.
+- Q5: the paper's constructor has a typo (``<new-author>`` as the closing
+  tag); corrected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.api import Database
+from repro.datagen import (
+    BIB_DTD,
+    BIDS_DTD,
+    DBLP_DTD,
+    ITEMS_DTD,
+    PRICES_DTD,
+    REVIEWS_DTD,
+    USERS_DTD,
+    generate_bib,
+    generate_bids,
+    generate_dblp,
+    generate_items,
+    generate_prices,
+    generate_reviews,
+    generate_users,
+)
+
+Q1_GROUPING = '''
+let $d1 := doc("bib.xml")
+for $a1 in distinct-values($d1//author)
+return
+  <author>
+    <name> { $a1 } </name>
+    {
+      let $d2 := doc("bib.xml")
+      for $b2 in $d2/book[$a1 = author]
+      return $b2/title
+    }
+  </author>
+'''
+
+Q2_AGGREGATION = '''
+let $d1 := doc("prices.xml")
+for $t1 in distinct-values($d1//book/title)
+let $p1 := let $d2 := doc("prices.xml")
+           for $p2 in $d2//book[title = $t1]/price
+           return decimal($p2)
+return
+  <minprice title="{ $t1 }">
+    <price> { min( $p1 ) } </price>
+  </minprice>
+'''
+
+Q3_EXISTS = '''
+let $d1 := document("bib.xml")
+for $t1 in $d1//book/title
+where some $t2 in document("reviews.xml")//entry/title
+      satisfies $t1 = $t2
+return
+  <book-with-review>
+    { $t1 }
+  </book-with-review>
+'''
+
+Q4_EXISTS2 = '''
+let $d1 := doc("bib.xml")
+for $b1 in $d1//book,
+    $a1 in $b1/author
+where exists(
+  for $b2 in $d1//book,
+      $a2 in $b2/author
+  where contains($a2, "Suciu")
+    and $b1 = $b2
+  return $b2)
+return
+  <book>
+    { $a1 }
+  </book>
+'''
+
+Q5_FORALL = '''
+let $d1 := doc("bib.xml")
+for $a1 in distinct-values($d1//author)
+where every $b2 in doc("bib.xml")//book[author = $a1]
+      satisfies $b2/@year > 1993
+return
+  <new-author>
+    { $a1 }
+  </new-author>
+'''
+
+Q6_HAVING = '''
+let $d1 := document("bids.xml")
+for $i1 in distinct-values($d1//itemno)
+where count($d1//bidtuple[itemno = $i1]) >= 3
+return
+  <popular-item>
+    { $i1 }
+  </popular-item>
+'''
+
+
+@dataclass
+class PaperQuery:
+    """One §5 experiment: the query, its database builder, the plans the
+    paper compares (labels of our rewriter), and the equivalences the
+    paper applies."""
+
+    key: str
+    section: str
+    title: str
+    text: str
+    build_db: Callable[..., Database]
+    plan_labels: tuple[str, ...]
+    paper_equivalences: tuple[str, ...]
+    scale_params: dict = field(default_factory=dict)
+
+
+def _db_bib(books: int = 100, authors_per_book: int = 2,
+            seed: int = 7) -> Database:
+    db = Database()
+    db.register_tree("bib.xml",
+                     generate_bib(books, authors_per_book, seed=seed),
+                     dtd_text=BIB_DTD)
+    return db
+
+
+def _db_prices(books: int = 100, seed: int = 7) -> Database:
+    db = Database()
+    db.register_tree("prices.xml", generate_prices(books, seed=seed),
+                     dtd_text=PRICES_DTD)
+    return db
+
+
+def _db_bib_reviews(books: int = 100, seed: int = 7) -> Database:
+    db = Database()
+    db.register_tree("bib.xml", generate_bib(books, 2, seed=seed),
+                     dtd_text=BIB_DTD)
+    db.register_tree("reviews.xml",
+                     generate_reviews(max(1, books // 2), seed=seed),
+                     dtd_text=REVIEWS_DTD)
+    return db
+
+
+def _db_auction(bids: int = 100, seed: int = 7) -> Database:
+    db = Database()
+    items = max(1, bids // 5)
+    db.register_tree("bids.xml",
+                     generate_bids(bids, items=items, seed=seed),
+                     dtd_text=BIDS_DTD)
+    db.register_tree("items.xml",
+                     generate_items(items, seed=seed),
+                     dtd_text=ITEMS_DTD)
+    db.register_tree("users.xml", generate_users(100, seed=seed),
+                     dtd_text=USERS_DTD)
+    return db
+
+
+def _db_dblp(books: int = 100, articles: int = 200,
+             seed: int = 7) -> Database:
+    db = Database()
+    db.register_tree("bib.xml",
+                     generate_dblp(books, articles, seed=seed),
+                     dtd_text=DBLP_DTD)
+    return db
+
+
+PAPER_QUERIES: dict[str, PaperQuery] = {
+    "q1": PaperQuery(
+        key="q1", section="5.1", title="Grouping (XMP Q1.1.9.4)",
+        text=Q1_GROUPING, build_db=_db_bib,
+        plan_labels=("nested", "outerjoin", "grouping", "group-xi"),
+        paper_equivalences=("eqv4", "eqv5"),
+        scale_params={"books": [100, 1000], "authors_per_book": [2, 5,
+                                                                 10]}),
+    "q1_dblp": PaperQuery(
+        key="q1_dblp", section="5.1 (DBLP)",
+        title="Grouping on DBLP-shaped data",
+        text=Q1_GROUPING, build_db=_db_dblp,
+        plan_labels=("nested", "outerjoin"),
+        paper_equivalences=("eqv4",),
+        scale_params={"books": [100], "articles": [200]}),
+    "q2": PaperQuery(
+        key="q2", section="5.2", title="Aggregation (XMP Q1.1.9.10)",
+        text=Q2_AGGREGATION, build_db=_db_prices,
+        plan_labels=("nested", "grouping"),
+        paper_equivalences=("eqv3",),
+        scale_params={"books": [100, 1000]}),
+    "q3": PaperQuery(
+        key="q3", section="5.3",
+        title="Existential quantification I (XMP Q1.1.9.5)",
+        text=Q3_EXISTS, build_db=_db_bib_reviews,
+        plan_labels=("nested", "semijoin"),
+        paper_equivalences=("eqv6",),
+        scale_params={"books": [100, 1000]}),
+    "q4": PaperQuery(
+        key="q4", section="5.4", title="Existential quantification II",
+        text=Q4_EXISTS2, build_db=_db_bib,
+        plan_labels=("nested", "semijoin", "grouping"),
+        paper_equivalences=("eqv6", "eqv8-self"),
+        scale_params={"books": [100, 1000]}),
+    "q5": PaperQuery(
+        key="q5", section="5.5", title="Universal quantification",
+        text=Q5_FORALL, build_db=_db_bib,
+        plan_labels=("nested", "antijoin", "grouping"),
+        paper_equivalences=("eqv7", "eqv9"),
+        scale_params={"books": [100, 1000]}),
+    "q6": PaperQuery(
+        key="q6", section="5.6",
+        title="Aggregation in the where clause (R Q1.4.4.14)",
+        text=Q6_HAVING, build_db=_db_auction,
+        plan_labels=("nested", "grouping"),
+        paper_equivalences=("eqv3",),
+        scale_params={"bids": [100, 1000]}),
+}
+
+
+def make_database(key: str, **params) -> Database:
+    """Build the database for one of the paper's queries."""
+    return PAPER_QUERIES[key].build_db(**params)

@@ -1,0 +1,49 @@
+"""Deterministic document generators for the paper's experiments.
+
+The paper generated its inputs with ToXgene from the XQuery use-case DTDs
+(Fig. 5) at sizes 100/1000/10000 elements (Fig. 6), varying authors per
+book (2/5/10) and using items = bids/5 and 1–10 users per bid for the R
+use case.  These generators reproduce those documents, seeded, so runs are
+reproducible.
+
+- :mod:`repro.datagen.xmp` — ``bib.xml``, ``reviews.xml``, ``prices.xml``;
+- :mod:`repro.datagen.auction` — ``users.xml``, ``items.xml``,
+  ``bids.xml``;
+- :mod:`repro.datagen.dblp` — a DBLP-shaped bibliography (books *and*
+  articles) for the §5.1 experiment where Eqv. 5's condition fails.
+"""
+
+from repro.datagen.xmp import (
+    BIB_DTD,
+    PRICES_DTD,
+    REVIEWS_DTD,
+    generate_bib,
+    generate_prices,
+    generate_reviews,
+)
+from repro.datagen.auction import (
+    BIDS_DTD,
+    ITEMS_DTD,
+    USERS_DTD,
+    generate_bids,
+    generate_items,
+    generate_users,
+)
+from repro.datagen.dblp import DBLP_DTD, generate_dblp
+
+__all__ = [
+    "BIB_DTD",
+    "PRICES_DTD",
+    "REVIEWS_DTD",
+    "BIDS_DTD",
+    "ITEMS_DTD",
+    "USERS_DTD",
+    "DBLP_DTD",
+    "generate_bib",
+    "generate_prices",
+    "generate_reviews",
+    "generate_bids",
+    "generate_items",
+    "generate_users",
+    "generate_dblp",
+]

@@ -1,0 +1,115 @@
+"""Generators for the R (auction) use case: users.xml, items.xml,
+bids.xml — the inputs of the paper's Q1.4.4.14 experiment.
+
+The paper's parameters: the number of items is one fifth of the number of
+bids, and between 1 and 10 users bid per item.
+"""
+
+from __future__ import annotations
+
+from repro.datagen.words import (
+    ITEM_NOUNS,
+    ITEM_WORDS,
+    make_person,
+    pick,
+    rng_for,
+)
+from repro.xmldb.node import Node, element
+
+USERS_DTD = """
+<!ELEMENT users (usertuple*)>
+<!ELEMENT usertuple (userid, name, rating?)>
+<!ELEMENT userid (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT rating (#PCDATA)>
+"""
+
+ITEMS_DTD = """
+<!ELEMENT items (itemtuple*)>
+<!ELEMENT itemtuple (itemno, description, offered_by, startdate?,
+                     enddate?, reserveprice?)>
+<!ELEMENT itemno (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT offered_by (#PCDATA)>
+<!ELEMENT startdate (#PCDATA)>
+<!ELEMENT enddate (#PCDATA)>
+<!ELEMENT reserveprice (#PCDATA)>
+"""
+
+BIDS_DTD = """
+<!ELEMENT bids (bidtuple*)>
+<!ELEMENT bidtuple (userid, itemno, bid, biddate)>
+<!ELEMENT userid (#PCDATA)>
+<!ELEMENT itemno (#PCDATA)>
+<!ELEMENT bid (#PCDATA)>
+<!ELEMENT biddate (#PCDATA)>
+"""
+
+
+def _user_id(i: int) -> str:
+    return f"U{i + 1:05d}"
+
+
+def _item_no(i: int) -> str:
+    return f"I{i + 1:05d}"
+
+
+def generate_users(users: int = 100, seed: int = 7) -> Node:
+    rng = rng_for(seed, "users")
+    root = element("users")
+    for i in range(users):
+        last, first = make_person(rng)
+        user = element("usertuple",
+                       element("userid", _user_id(i)),
+                       element("name", f"{first} {last}"))
+        if rng.random() < 0.7:
+            user.append_child(element("rating", str(rng.randrange(1, 11))))
+        root.append_child(user)
+    return root
+
+
+def generate_items(items: int = 100, users: int = 100,
+                   seed: int = 7) -> Node:
+    rng = rng_for(seed, "items")
+    root = element("items")
+    for i in range(items):
+        description = (f"{pick(rng, ITEM_WORDS)} "
+                       f"{pick(rng, ITEM_NOUNS)} #{i + 1}")
+        item = element("itemtuple",
+                       element("itemno", _item_no(i)),
+                       element("description", description),
+                       element("offered_by",
+                               _user_id(rng.randrange(users))))
+        if rng.random() < 0.5:
+            item.append_child(element("startdate", "1999-01-05"))
+            item.append_child(element("enddate", "1999-01-20"))
+        if rng.random() < 0.4:
+            item.append_child(element(
+                "reserveprice", str(rng.randrange(10, 500))))
+        root.append_child(item)
+    return root
+
+
+def generate_bids(bids: int = 100, items: int | None = None,
+                  users: int = 100, seed: int = 7) -> Node:
+    """``bids.xml`` with ``bids`` bidtuples.  Following the paper, the
+    number of items defaults to one fifth of the number of bids, and each
+    bid picks one of 1–10 users per item."""
+    rng = rng_for(seed, "bids")
+    if items is None:
+        items = max(1, bids // 5)
+    root = element("bids")
+    bidders_per_item = {i: rng.randrange(1, 11) for i in range(items)}
+    for _ in range(bids):
+        item = rng.randrange(items)
+        bidder_pool = bidders_per_item[item]
+        user = (item * 13 + rng.randrange(bidder_pool)) % users
+        amount = rng.randrange(5, 1000)
+        day = rng.randrange(1, 29)
+        root.append_child(element(
+            "bidtuple",
+            element("userid", _user_id(user)),
+            element("itemno", _item_no(item)),
+            element("bid", str(amount)),
+            element("biddate", f"1999-01-{day:02d}")))
+    return root

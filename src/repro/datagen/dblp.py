@@ -1,0 +1,92 @@
+"""A DBLP-shaped bibliography generator.
+
+The paper runs Q1.1.9.4 against DBLP (140 MB) and observes that Eqv. 5 is
+*not* applicable there: DBLP's authors appear under several publication
+types (``article``, ``inproceedings``, ``phdthesis``, …), so ``//author``
+is not the same node set as ``//book/author`` — some authors never wrote
+a book, and the pure-grouping plan would invent or drop groups.  Only the
+outer-join plan (Eqv. 4) remains applicable.
+
+``generate_dblp`` reproduces that schema property at laptop scale: a
+``dblp`` root with interleaved ``book`` and ``article`` elements sharing
+an author pool, guaranteeing some article-only authors.
+"""
+
+from __future__ import annotations
+
+from repro.datagen.words import (
+    LAST_NAMES,
+    PUBLISHERS,
+    make_person,
+    make_title,
+    pick,
+    rng_for,
+)
+from repro.xmldb.node import Node, element
+
+DBLP_DTD = """
+<!ELEMENT dblp ((book | article)*)>
+<!ELEMENT book (title, author+, publisher, price)>
+<!ATTLIST book year CDATA #REQUIRED>
+<!ELEMENT article (title, author+, journal)>
+<!ATTLIST article year CDATA #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (last, first)>
+<!ELEMENT last (#PCDATA)>
+<!ELEMENT first (#PCDATA)>
+<!ELEMENT journal (#PCDATA)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+"""
+
+_JOURNALS = ["TODS", "VLDB Journal", "SIGMOD Record", "TKDE", "JACM"]
+
+
+def generate_dblp(books: int = 100, articles: int = 200,
+                  authors_per_pub: int = 2, seed: int = 7) -> Node:
+    """A ``dblp.xml`` tree with ``books`` books and ``articles`` articles.
+
+    A slice of the author pool (the last few last names) is reserved for
+    articles only, so ``//author ≠ //book/author`` holds not just in the
+    DTD but in the instance — the situation that forced the paper to the
+    outer-join plan."""
+    rng = rng_for(seed, "dblp")
+    reserved = max(2, len(LAST_NAMES) // 5)
+    book_pool = LAST_NAMES[:-reserved]
+    article_pool = LAST_NAMES
+
+    def person_from(pool: list[str]) -> tuple[str, str]:
+        last = pick(rng, pool)
+        _, first = make_person(rng)
+        return last, first
+
+    root = element("dblp")
+    book_count, article_count = 0, 0
+    total = books + articles
+    for i in range(total):
+        want_book = book_count < books and (
+            article_count >= articles or rng.random() < books / total)
+        year = str(rng.randrange(1985, 2004))
+        title = element("title", make_title(rng, i + 1))
+        if want_book:
+            book_count += 1
+            pub = element("book", year=year)
+            pub.append_child(title)
+            for _ in range(authors_per_pub):
+                last, first = person_from(book_pool)
+                pub.append_child(element("author", element("last", last),
+                                         element("first", first)))
+            pub.append_child(element("publisher", pick(rng, PUBLISHERS)))
+            price = rng.randrange(20, 160)
+            pub.append_child(element("price", f"{price}.00"))
+        else:
+            article_count += 1
+            pub = element("article", year=year)
+            pub.append_child(title)
+            for _ in range(authors_per_pub):
+                last, first = person_from(article_pool)
+                pub.append_child(element("author", element("last", last),
+                                         element("first", first)))
+            pub.append_child(element("journal", pick(rng, _JOURNALS)))
+        root.append_child(pub)
+    return root

@@ -1,0 +1,72 @@
+"""Word pools and deterministic random helpers for the generators."""
+
+from __future__ import annotations
+
+import random
+
+FIRST_NAMES = [
+    "Ada", "Alan", "Barbara", "Claude", "Donald", "Edsger", "Frances",
+    "Grace", "Hedy", "Ivan", "John", "Katherine", "Leslie", "Margaret",
+    "Niklaus", "Ole", "Peter", "Radia", "Serge", "Tim", "Ursula",
+    "Victor", "Wilhelm", "Xavier", "Yuri", "Zelda",
+]
+
+LAST_NAMES = [
+    "Abiteboul", "Bernstein", "Codd", "Date", "Engelbart", "Floyd",
+    "Gray", "Hopper", "Iverson", "Jagadish", "Knuth", "Lamport",
+    "McCarthy", "Naur", "Ozsu", "Papadimitriou", "Quass", "Ritchie",
+    "Stonebraker", "Tarjan", "Ullman", "Vianu", "Widom", "Xu", "Yao",
+    "Zaniolo", "Suciu",
+]
+
+TITLE_WORDS = [
+    "Advanced", "Algorithms", "Analysis", "Applications", "Compilers",
+    "Computing", "Concurrency", "Data", "Databases", "Design",
+    "Distributed", "Engineering", "Foundations", "Internet", "Languages",
+    "Logic", "Management", "Networks", "Optimization", "Principles",
+    "Programming", "Queries", "Semantics", "Streams", "Systems",
+    "Theory", "Transactions", "Web", "XML", "XQuery",
+]
+
+PUBLISHERS = [
+    "Addison-Wesley", "Morgan Kaufmann", "Springer", "Prentice Hall",
+    "O'Reilly", "MIT Press", "Cambridge University Press",
+]
+
+REVIEW_WORDS = [
+    "excellent", "thorough", "readable", "dense", "classic", "dated",
+    "practical", "rigorous", "accessible", "indispensable", "uneven",
+    "concise",
+]
+
+ITEM_WORDS = [
+    "antique", "vintage", "rare", "signed", "first-edition", "mint",
+    "restored", "original", "handmade", "collectible",
+]
+
+ITEM_NOUNS = [
+    "clock", "lamp", "typewriter", "camera", "radio", "globe",
+    "bicycle", "print", "bookcase", "telescope",
+]
+
+SOURCES = ["amazon.com", "bn.com", "powells.com", "abebooks.com"]
+
+
+def rng_for(seed: int, label: str) -> random.Random:
+    """A deterministic generator namespaced by a label, so changing one
+    document generator never perturbs another."""
+    return random.Random(f"{seed}:{label}")
+
+
+def pick(rng: random.Random, pool: list[str]) -> str:
+    return pool[rng.randrange(len(pool))]
+
+
+def make_title(rng: random.Random, index: int) -> str:
+    """A unique-ish book title: two pool words plus a serial number."""
+    return (f"{pick(rng, TITLE_WORDS)} {pick(rng, TITLE_WORDS)} "
+            f"Vol. {index}")
+
+
+def make_person(rng: random.Random) -> tuple[str, str]:
+    return pick(rng, LAST_NAMES), pick(rng, FIRST_NAMES)

@@ -1,0 +1,127 @@
+"""Generators for the XMP use case: bib.xml, reviews.xml, prices.xml.
+
+The DTDs are those of the paper's Fig. 5.  ``generate_bib`` is
+parameterized by the number of books and authors per book (the knobs the
+§5.1 table varies); reviews and prices reuse the same title population so
+the joins of Q1.1.9.5 / Q1.1.9.10 find partners.
+"""
+
+from __future__ import annotations
+
+from repro.datagen.words import (
+    PUBLISHERS,
+    REVIEW_WORDS,
+    SOURCES,
+    make_person,
+    make_title,
+    pick,
+    rng_for,
+)
+from repro.xmldb.node import Node, element
+
+BIB_DTD = """
+<!ELEMENT bib (book*)>
+<!ELEMENT book (title, (author+ | editor+), publisher, price)>
+<!ATTLIST book year CDATA #REQUIRED>
+<!ELEMENT author (last, first)>
+<!ELEMENT editor (last, first, affiliation)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT last (#PCDATA)>
+<!ELEMENT first (#PCDATA)>
+<!ELEMENT affiliation (#PCDATA)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+"""
+
+REVIEWS_DTD = """
+<!ELEMENT reviews (entry*)>
+<!ELEMENT entry (title, price, review)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT review (#PCDATA)>
+"""
+
+PRICES_DTD = """
+<!ELEMENT prices (book*)>
+<!ELEMENT book (title, source, price)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT source (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+"""
+
+
+def book_titles(books: int, seed: int = 7) -> list[str]:
+    """The title population shared by bib/reviews/prices."""
+    rng = rng_for(seed, "titles")
+    return [make_title(rng, i + 1) for i in range(books)]
+
+
+def generate_bib(books: int = 100, authors_per_book: int = 2,
+                 seed: int = 7, year_range: tuple[int, int] = (1985, 2003)
+                 ) -> Node:
+    """A ``bib.xml`` tree: ``books`` book elements, each with
+    ``authors_per_book`` authors, a publisher, a price and a year
+    attribute.
+
+    Author names repeat across books (drawn from a bounded pool), so
+    grouping by author produces non-trivial groups, as in the paper.
+    """
+    rng = rng_for(seed, "bib")
+    titles = book_titles(books, seed)
+    bib = element("bib")
+    for i in range(books):
+        year = rng.randrange(year_range[0], year_range[1] + 1)
+        book = element("book", year=str(year))
+        book.append_child(element("title", titles[i]))
+        for _ in range(authors_per_book):
+            last, first = make_person(rng)
+            book.append_child(element(
+                "author", element("last", last), element("first", first)))
+        book.append_child(element("publisher", pick(rng, PUBLISHERS)))
+        price = rng.randrange(20, 160) + rng.randrange(0, 100) / 100.0
+        book.append_child(element("price", f"{price:.2f}"))
+        bib.append_child(book)
+    return bib
+
+
+def generate_reviews(entries: int = 100, seed: int = 7,
+                     review_fraction: float = 0.5) -> Node:
+    """A ``reviews.xml`` tree with ``entries`` entries.
+
+    Titles are drawn from the shared population of ``entries / review_
+    fraction`` books so roughly ``review_fraction`` of the books in a
+    same-seed ``bib.xml`` of that size have a review."""
+    rng = rng_for(seed, "reviews")
+    population = book_titles(max(entries, int(entries / review_fraction)),
+                             seed)
+    chosen = sorted(rng.sample(range(len(population)), entries))
+    reviews = element("reviews")
+    for index in chosen:
+        price = rng.randrange(20, 160) + rng.randrange(0, 100) / 100.0
+        text = " ".join(pick(rng, REVIEW_WORDS) for _ in range(4))
+        reviews.append_child(element(
+            "entry",
+            element("title", population[index]),
+            element("price", f"{price:.2f}"),
+            element("review", text)))
+    return reviews
+
+
+def generate_prices(books: int = 100, seed: int = 7,
+                    sources_per_title: int = 3) -> Node:
+    """A ``prices.xml`` tree: every title of the shared population quoted
+    by up to ``sources_per_title`` sources (so ``min(price)`` per title
+    aggregates a real group, as Q1.1.9.10 needs)."""
+    rng = rng_for(seed, "prices")
+    titles = book_titles(books, seed)
+    prices = element("prices")
+    for title in titles:
+        quotes = rng.randrange(1, sources_per_title + 1)
+        for _ in range(quotes):
+            price = rng.randrange(20, 160) + rng.randrange(0, 100) / 100.0
+            prices.append_child(element(
+                "book",
+                element("title", title),
+                element("source", pick(rng, SOURCES)),
+                element("price", f"{price:.2f}")))
+    return prices

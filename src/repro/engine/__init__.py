@@ -1,0 +1,15 @@
+"""Execution engine (the Natix stand-in).
+
+- :mod:`repro.engine.context` — evaluation context (document store, scan
+  statistics, output stream);
+- :mod:`repro.engine.physical` — the physical evaluator: hash-based,
+  order-preserving implementations of joins and groupings;
+- :mod:`repro.engine.executor` — the user-facing ``execute`` entry point
+  returning rows, constructed output and statistics.
+"""
+
+from repro.engine.context import EvalContext
+from repro.engine.executor import ExecutionResult, execute
+from repro.engine.physical import run_physical
+
+__all__ = ["EvalContext", "ExecutionResult", "execute", "run_physical"]

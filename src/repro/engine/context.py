@@ -1,0 +1,34 @@
+"""Evaluation context shared by the reference and physical evaluators."""
+
+from __future__ import annotations
+
+from repro.xmldb.document import DocumentStore, ScanStats
+
+
+class EvalContext:
+    """Carries everything operator evaluation needs:
+
+    - ``store`` — the document store ``doc("...")`` resolves against;
+    - ``stats`` — scan statistics (defaults to the store's counters);
+    - the Ξ output stream, appended to via :meth:`emit`.
+    """
+
+    def __init__(self, store: DocumentStore,
+                 stats: ScanStats | None = None):
+        self.store = store
+        self.stats = stats if stats is not None else store.stats
+        self._output: list[str] = []
+        #: when not None, the physical engine records per-operator
+        #: (invocations, output rows) keyed by id(operator) — the data
+        #: behind EXPLAIN ANALYZE (see executor.execute(analyze=True))
+        self.analyze_counts: dict[int, tuple[int, int]] | None = None
+
+    def emit(self, text: str) -> None:
+        """Append a fragment to the constructed query result."""
+        self._output.append(text)
+
+    def output_text(self) -> str:
+        return "".join(self._output)
+
+    def clear_output(self) -> None:
+        self._output.clear()

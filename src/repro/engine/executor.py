@@ -1,0 +1,106 @@
+"""The ``execute`` entry point: run a plan, collect rows, the constructed
+XML output and the scan statistics."""
+
+from __future__ import annotations
+
+import time
+
+from repro.engine.context import EvalContext
+from repro.engine.physical import run_physical
+from repro.nal.algebra import Operator
+from repro.nal.values import Tup
+from repro.xmldb.document import DocumentStore
+
+
+class ExecutionResult:
+    """Outcome of one plan execution."""
+
+    def __init__(self, rows: list[Tup], output: str, stats: dict,
+                 elapsed: float,
+                 operator_counts: dict[int, tuple[int, int]] | None = None):
+        #: the operator tree's result sequence
+        self.rows = rows
+        #: the XML text the Ξ operators constructed
+        self.output = output
+        #: scan-statistics snapshot (document scans, node visits)
+        self.stats = stats
+        #: wall-clock seconds
+        self.elapsed = elapsed
+        #: EXPLAIN ANALYZE data: id(operator) -> (invocations, rows);
+        #: None unless execute() ran with analyze=True
+        self.operator_counts = operator_counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ExecutionResult rows={len(self.rows)} "
+                f"output={len(self.output)} chars "
+                f"scans={self.stats['document_scans']} "
+                f"elapsed={self.elapsed:.4f}s>")
+
+
+def execute(plan: Operator, store: DocumentStore,
+            mode: str = "physical",
+            reset_stats: bool = True,
+            analyze: bool = False) -> ExecutionResult:
+    """Execute a plan against a document store.
+
+    ``mode="physical"`` uses the hash-based engine (the default; what the
+    benchmarks measure); ``mode="reference"`` uses the definitional
+    semantics (useful for differential testing).  ``analyze=True``
+    (physical mode only) additionally records per-operator invocation
+    and row counts — render them with
+    :func:`~repro.engine.executor.analyze_to_string`.
+    """
+    if mode not in ("physical", "reference"):
+        raise ValueError(f"unknown execution mode {mode!r}")
+    if analyze and mode != "physical":
+        raise ValueError("analyze=True requires mode='physical'")
+    if reset_stats:
+        store.stats.reset()
+    ctx = EvalContext(store)
+    if analyze:
+        ctx.analyze_counts = {}
+    start = time.perf_counter()
+    if mode == "physical":
+        rows = run_physical(plan, ctx)
+    else:
+        rows = plan.evaluate(ctx)
+    elapsed = time.perf_counter() - start
+    return ExecutionResult(rows, ctx.output_text(),
+                           store.stats.snapshot(), elapsed,
+                           operator_counts=ctx.analyze_counts)
+
+
+def analyze_to_string(plan: Operator,
+                      result: ExecutionResult) -> str:
+    """EXPLAIN ANALYZE rendering: the plan tree annotated with each
+    operator's invocation count and emitted rows.
+
+    Operators inside nested subscripts run through the reference
+    evaluator and show as ``(not measured)`` — their work is charged to
+    the host operator, which is exactly the nested-loop cost the
+    unnesting equivalences eliminate.
+    """
+    counts = result.operator_counts
+    if counts is None:
+        raise ValueError("result was not executed with analyze=True")
+    lines: list[str] = []
+
+    def walk(op: Operator, depth: int) -> None:
+        pad = "  " * depth
+        entry = counts.get(id(op))
+        if entry is None:
+            note = "(not measured)"
+        else:
+            calls, rows = entry
+            note = f"[calls={calls} rows={rows}]"
+        lines.append(f"{pad}{op.label()}  {note}")
+        from repro.nal.pretty import _nested_plans
+        for expr in op.scalar_exprs():
+            for nested in _nested_plans(expr):
+                lines.append(f"{pad}  ⟨nested⟩")
+                walk(nested, depth + 2)
+        for child in op.children:
+            walk(child, depth + 1)
+
+    walk(plan, 0)
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch a single type.  Sub-hierarchies mirror the pipeline stages:
+parsing XML documents, parsing DTDs, parsing XPath or XQuery text,
+normalization/translation, algebraic evaluation, and plan rewriting.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class XMLParseError(ReproError):
+    """Raised when an XML document cannot be parsed.
+
+    Carries the character ``position`` of the failure when known.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at character {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class DTDParseError(ReproError):
+    """Raised when a DTD declaration cannot be parsed."""
+
+
+class XPathError(ReproError):
+    """Raised for syntactically or semantically invalid XPath expressions."""
+
+
+class XQueryParseError(ReproError):
+    """Raised when XQuery text cannot be tokenized or parsed.
+
+    Carries the 1-based ``line`` and ``column`` of the failure when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class TranslationError(ReproError):
+    """Raised when a (normalized) XQuery AST cannot be translated to NAL."""
+
+
+class EvaluationError(ReproError):
+    """Raised when an algebraic plan cannot be evaluated.
+
+    Typical causes: an attribute reference that no tuple binds, a type
+    mismatch inside a comparison, or an aggregate applied to values it does
+    not support.
+    """
+
+
+class UnknownDocumentError(EvaluationError):
+    """Raised when a plan references a document name not in the store."""
+
+    def __init__(self, name: str, known: list[str]):
+        known_text = ", ".join(sorted(known)) if known else "<none>"
+        super().__init__(
+            f"unknown document {name!r}; registered documents: {known_text}")
+        self.name = name
+
+
+class DuplicateDocumentError(ReproError):
+    """Raised when a document name is registered twice in one store."""
+
+    def __init__(self, name: str):
+        super().__init__(
+            f"document {name!r} is already registered; stores are "
+            f"append-only (use a fresh store to replace documents)")
+        self.name = name
+
+
+class RewriteError(ReproError):
+    """Raised when the optimizer is asked to apply an inapplicable rewrite."""
+
+
+class ConditionViolation(RewriteError):
+    """Raised when an equivalence's side condition is provably violated."""

@@ -1,0 +1,78 @@
+"""NAL — the paper's order-preserving algebra over sequences of tuples.
+
+Layout:
+
+- :mod:`repro.nal.values` — tuples, NULL, atomization, comparison and key
+  canonicalization;
+- :mod:`repro.nal.functions` — the XQuery function library and the
+  aggregate specifications used by the grouping operators;
+- :mod:`repro.nal.scalar` — scalar expressions, including nested algebraic
+  expressions and quantified predicates (algebra inside subscripts is what
+  the unnesting equivalences remove);
+- :mod:`repro.nal.algebra` — the operator base class;
+- :mod:`repro.nal.unary_ops`, :mod:`repro.nal.join_ops`,
+  :mod:`repro.nal.group_ops`, :mod:`repro.nal.construct` — the operators of
+  Section 2 of the paper, with definitional (reference) semantics;
+- :mod:`repro.nal.pretty` — a plan printer.
+"""
+
+from repro.nal.values import NULL, Tup, EMPTY_TUPLE
+from repro.nal.algebra import Operator
+from repro.nal.unary_ops import (
+    Map,
+    Project,
+    ProjectAway,
+    DistinctProject,
+    Rename,
+    Select,
+    Singleton,
+    Sort,
+    Table,
+    Unnest,
+    UnnestMap,
+)
+from repro.nal.join_ops import (
+    AntiJoin,
+    Cross,
+    Join,
+    OuterJoin,
+    SemiJoin,
+)
+from repro.nal.group_ops import AggSpec, GroupBinary, GroupUnary, SelfGroup
+from repro.nal.construct import (
+    Construct,
+    GroupConstruct,
+    Lit,
+    Out,
+)
+
+__all__ = [
+    "NULL",
+    "Tup",
+    "EMPTY_TUPLE",
+    "Operator",
+    "Singleton",
+    "Table",
+    "Select",
+    "Project",
+    "ProjectAway",
+    "DistinctProject",
+    "Rename",
+    "Map",
+    "UnnestMap",
+    "Unnest",
+    "Sort",
+    "Cross",
+    "Join",
+    "SemiJoin",
+    "AntiJoin",
+    "OuterJoin",
+    "AggSpec",
+    "GroupUnary",
+    "GroupBinary",
+    "SelfGroup",
+    "Construct",
+    "GroupConstruct",
+    "Lit",
+    "Out",
+]

@@ -1,0 +1,317 @@
+"""The XQuery function library used by the paper's queries.
+
+Functions receive their already-evaluated arguments (values or sequences)
+and return a value.  Aggregates atomize their input sequence first; on the
+empty sequence ``count``/``sum`` return 0 and ``min``/``max``/``avg``
+return NULL, which is exactly the "meaningful value for empty groups" the
+paper's outer-join/grouping treatment needs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+from repro.errors import EvaluationError
+from repro.nal.values import (
+    NULL,
+    atomize,
+    atomize_sequence,
+    canonical_key,
+    effective_boolean,
+    iter_items,
+)
+from repro.xmldb.node import Node
+
+FunctionImpl = Callable[[list[Any]], Any]
+
+
+def _numbers(values: list[Any]) -> list[float]:
+    numbers: list[float] = []
+    for value in values:
+        if isinstance(value, bool):
+            raise EvaluationError("cannot aggregate booleans")
+        if isinstance(value, (int, float)):
+            numbers.append(float(value))
+            continue
+        if isinstance(value, str):
+            try:
+                numbers.append(float(value))
+                continue
+            except ValueError:
+                raise EvaluationError(
+                    f"cannot convert {value!r} to a number") from None
+        raise EvaluationError(f"cannot convert {value!r} to a number")
+    return numbers
+
+
+def _single(args: list[Any], name: str) -> Any:
+    items = iter_items(args[0])
+    if len(items) > 1:
+        raise EvaluationError(
+            f"{name}() expects at most one item, got {len(items)}")
+    return items[0] if items else NULL
+
+
+def fn_count(args: list[Any]) -> int:
+    return len(iter_items(args[0]))
+
+
+def fn_sum(args: list[Any]) -> float:
+    numbers = _numbers(atomize_sequence(args[0]))
+    return sum(numbers) if numbers else 0
+
+
+def fn_min(args: list[Any]) -> Any:
+    values = atomize_sequence(args[0])
+    if not values:
+        return NULL
+    try:
+        return min(_numbers(values))
+    except EvaluationError:
+        return min(str(v) for v in values)
+
+
+def fn_max(args: list[Any]) -> Any:
+    values = atomize_sequence(args[0])
+    if not values:
+        return NULL
+    try:
+        return max(_numbers(values))
+    except EvaluationError:
+        return max(str(v) for v in values)
+
+
+def fn_avg(args: list[Any]) -> Any:
+    numbers = _numbers(atomize_sequence(args[0]))
+    if not numbers:
+        return NULL
+    return sum(numbers) / len(numbers)
+
+
+def fn_empty(args: list[Any]) -> bool:
+    return len(iter_items(args[0])) == 0
+
+
+def fn_exists(args: list[Any]) -> bool:
+    return len(iter_items(args[0])) > 0
+
+
+def fn_not(args: list[Any]) -> bool:
+    return not effective_boolean(args[0])
+
+
+def fn_boolean(args: list[Any]) -> bool:
+    return effective_boolean(args[0])
+
+
+def fn_true(args: list[Any]) -> bool:
+    return True
+
+
+def fn_false(args: list[Any]) -> bool:
+    return False
+
+
+def fn_decimal(args: list[Any]) -> float:
+    value = _single(args, "decimal")
+    if value is NULL:
+        raise EvaluationError("decimal() of an empty sequence")
+    numbers = _numbers([atomize(value)])
+    return numbers[0]
+
+
+def fn_number(args: list[Any]) -> float:
+    return fn_decimal(args)
+
+
+def fn_string(args: list[Any]) -> str:
+    value = _single(args, "string")
+    if value is NULL:
+        return ""
+    return str(atomize(value))
+
+
+def fn_contains(args: list[Any]) -> bool:
+    if len(args) != 2:
+        raise EvaluationError("contains() takes two arguments")
+    haystack = _single([args[0]], "contains")
+    needle = _single([args[1]], "contains")
+    if haystack is NULL or needle is NULL:
+        return False
+    return str(atomize(needle)) in str(atomize(haystack))
+
+
+def fn_starts_with(args: list[Any]) -> bool:
+    if len(args) != 2:
+        raise EvaluationError("starts-with() takes two arguments")
+    haystack = _single([args[0]], "starts-with")
+    needle = _single([args[1]], "starts-with")
+    if haystack is NULL or needle is NULL:
+        return False
+    return str(atomize(haystack)).startswith(str(atomize(needle)))
+
+
+def fn_string_length(args: list[Any]) -> int:
+    return len(fn_string(args))
+
+
+def fn_concat(args: list[Any]) -> str:
+    return "".join(fn_string([a]) for a in args)
+
+
+def fn_distinct_values(args: list[Any]) -> list[Any]:
+    """``distinct-values``: atomizes, removes duplicates; the result order
+    is implementation-defined in XQuery — we keep first occurrence, which
+    is deterministic and idempotent as the paper's ΠD requires."""
+    seen: set[Any] = set()
+    result: list[Any] = []
+    for value in atomize_sequence(args[0]):
+        key = canonical_key(value)
+        if key not in seen:
+            seen.add(key)
+            result.append(value)
+    return result
+
+
+def fn_data(args: list[Any]) -> list[Any]:
+    return atomize_sequence(args[0])
+
+
+def fn_name(args: list[Any]) -> str:
+    value = _single(args, "name")
+    if isinstance(value, Node) and value.name:
+        return value.name
+    return ""
+
+
+def fn_zero_or_one(args: list[Any]) -> Any:
+    return _single(args, "zero-or-one")
+
+
+def fn_ends_with(args: list[Any]) -> bool:
+    if len(args) != 2:
+        raise EvaluationError("ends-with() takes two arguments")
+    haystack = _single([args[0]], "ends-with")
+    needle = _single([args[1]], "ends-with")
+    if haystack is NULL or needle is NULL:
+        return False
+    return str(atomize(haystack)).endswith(str(atomize(needle)))
+
+
+def fn_substring(args: list[Any]) -> str:
+    """``substring(s, start[, length])`` with XQuery's 1-based indexing."""
+    if len(args) not in (2, 3):
+        raise EvaluationError("substring() takes two or three arguments")
+    text = fn_string([args[0]])
+    start = int(round(fn_decimal([args[1]])))
+    begin = max(0, start - 1)
+    if len(args) == 2:
+        return text[begin:]
+    length = int(round(fn_decimal([args[2]])))
+    end = max(begin, start - 1 + length)
+    return text[begin:end]
+
+
+def fn_substring_before(args: list[Any]) -> str:
+    if len(args) != 2:
+        raise EvaluationError("substring-before() takes two arguments")
+    text, sep = fn_string([args[0]]), fn_string([args[1]])
+    head, found, _ = text.partition(sep)
+    return head if found else ""
+
+
+def fn_substring_after(args: list[Any]) -> str:
+    if len(args) != 2:
+        raise EvaluationError("substring-after() takes two arguments")
+    text, sep = fn_string([args[0]]), fn_string([args[1]])
+    _, found, tail = text.partition(sep)
+    return tail if found else ""
+
+
+def fn_upper_case(args: list[Any]) -> str:
+    return fn_string(args).upper()
+
+
+def fn_lower_case(args: list[Any]) -> str:
+    return fn_string(args).lower()
+
+
+def fn_normalize_space(args: list[Any]) -> str:
+    return " ".join(fn_string(args).split())
+
+
+def fn_string_join(args: list[Any]) -> str:
+    if len(args) != 2:
+        raise EvaluationError("string-join() takes two arguments")
+    separator = fn_string([args[1]])
+    return separator.join(str(atomize(v))
+                          for v in atomize_sequence(args[0]))
+
+
+def fn_abs(args: list[Any]) -> float:
+    return abs(fn_decimal(args))
+
+
+def fn_round(args: list[Any]) -> float:
+    value = fn_decimal(args)
+    # XQuery rounds half away from zero (not banker's rounding).
+    return math.floor(value + 0.5) if value >= 0 \
+        else -math.floor(-value + 0.5)
+
+
+def fn_floor(args: list[Any]) -> float:
+    return float(math.floor(fn_decimal(args)))
+
+
+def fn_ceiling(args: list[Any]) -> float:
+    return float(math.ceil(fn_decimal(args)))
+
+
+FUNCTIONS: dict[str, FunctionImpl] = {
+    "count": fn_count,
+    "sum": fn_sum,
+    "min": fn_min,
+    "max": fn_max,
+    "avg": fn_avg,
+    "empty": fn_empty,
+    "exists": fn_exists,
+    "not": fn_not,
+    "boolean": fn_boolean,
+    "true": fn_true,
+    "false": fn_false,
+    "decimal": fn_decimal,
+    "number": fn_number,
+    "string": fn_string,
+    "contains": fn_contains,
+    "starts-with": fn_starts_with,
+    "string-length": fn_string_length,
+    "concat": fn_concat,
+    "distinct-values": fn_distinct_values,
+    "data": fn_data,
+    "name": fn_name,
+    "zero-or-one": fn_zero_or_one,
+    "ends-with": fn_ends_with,
+    "substring": fn_substring,
+    "substring-before": fn_substring_before,
+    "substring-after": fn_substring_after,
+    "upper-case": fn_upper_case,
+    "lower-case": fn_lower_case,
+    "normalize-space": fn_normalize_space,
+    "string-join": fn_string_join,
+    "abs": fn_abs,
+    "round": fn_round,
+    "floor": fn_floor,
+    "ceiling": fn_ceiling,
+}
+
+#: Functions that aggregate a whole sequence into one value; the unnesting
+#: matcher recognizes these as the ``f`` of a grouping operator.
+AGGREGATE_FUNCTIONS = {"count", "sum", "min", "max", "avg"}
+
+
+def call_function(name: str, args: list[Any]) -> Any:
+    impl = FUNCTIONS.get(name)
+    if impl is None:
+        raise EvaluationError(f"unknown function {name}()")
+    return impl(args)

@@ -1,0 +1,89 @@
+"""Plan printing for NAL operator trees."""
+
+from __future__ import annotations
+
+from repro.nal.algebra import Operator
+
+
+def plan_to_string(plan: Operator, compact: bool = False) -> str:
+    """Render a plan tree.
+
+    ``compact=True`` gives a one-line functional form (used by
+    ``repr``); otherwise an indented tree, one operator per line, with
+    nested plans inside subscripts expanded beneath a ``⟨nested⟩``
+    marker.
+    """
+    if compact:
+        return _compact(plan)
+    lines: list[str] = []
+    _tree_lines(plan, 0, lines)
+    return "\n".join(lines)
+
+
+def _compact(plan: Operator) -> str:
+    label = plan.label()
+    if not plan.children:
+        return label
+    inner = ", ".join(_compact(c) for c in plan.children)
+    return f"{label}({inner})"
+
+
+def _tree_lines(plan: Operator, depth: int, lines: list[str]) -> None:
+    pad = "  " * depth
+    lines.append(f"{pad}{plan.label()}")
+    for expr in plan.scalar_exprs():
+        for nested in _nested_plans(expr):
+            lines.append(f"{pad}  ⟨nested⟩")
+            _tree_lines(nested, depth + 2, lines)
+    for child in plan.children:
+        _tree_lines(child, depth + 1, lines)
+
+
+def _nested_plans(expr):
+    from repro.nal.scalar import NestedPlan
+    if isinstance(expr, NestedPlan):
+        yield expr.plan
+        return
+    for child in expr.children():
+        yield from _nested_plans(child)
+
+
+def explain(plan: Operator) -> str:
+    """An indented plan with a header — the user-facing EXPLAIN output."""
+    return "Plan\n----\n" + plan_to_string(plan)
+
+
+def plan_to_dot(plan: Operator, name: str = "plan") -> str:
+    """Render a plan as a Graphviz ``dot`` digraph.
+
+    Operator nodes are boxes; nested subscript plans are drawn inside a
+    dashed cluster connected to their host operator with a dashed edge —
+    visually the "algebra inside a subscript" that unnesting removes.
+    """
+    lines = [f"digraph {name} {{",
+             "  node [shape=box, fontname=\"monospace\"];",
+             "  rankdir=BT;"]
+    counter = [0]
+
+    def emit(op: Operator, cluster: int) -> str:
+        node_id = f"n{counter[0]}"
+        counter[0] += 1
+        label = op.label().replace("\\", "\\\\").replace('"', '\\"')
+        lines.append(f'  {node_id} [label="{label}"];')
+        for child in op.children:
+            child_id = emit(child, cluster)
+            lines.append(f"  {child_id} -> {node_id};")
+        for expr in op.scalar_exprs():
+            for nested in _nested_plans(expr):
+                cluster_id = counter[0]
+                lines.append(f"  subgraph cluster_{cluster_id} {{")
+                lines.append("    style=dashed; label=\"nested\";")
+                nested_id = emit(nested, cluster_id)
+                lines.append("  }")
+                lines.append(
+                    f"  {nested_id} -> {node_id} [style=dashed];")
+        return node_id
+
+    emit(plan, 0)
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,345 @@
+"""Values of the NAL data model.
+
+NAL works on *sequences of tuples*; a tuple maps attribute names to values.
+Values are:
+
+- atomics: ``str``, ``int``, ``float``, ``bool``;
+- ``NULL`` (the ⊥ of the paper's outer join / empty-group handling);
+- XML node handles (:class:`repro.xmldb.node.Node`);
+- nested sequences of tuples (``list[Tup]``) — e.g. the group attribute a
+  Γ operator produces, or a `let`-bound sequence.
+
+Comparison semantics
+--------------------
+XQuery general comparisons atomize nodes and compare typed values.  Our
+untyped documents store everything as strings, so we use the following
+deterministic rule (documented deviation from full XQuery typing): two
+atomized values compare *numerically* when both parse as numbers, otherwise
+as strings.  ``NULL`` compares false against everything (including itself).
+:func:`canonical_key` maps a value to a hashable key consistent with that
+equality, which is what the hash-based physical operators and the
+duplicate-eliminating projection use.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import EvaluationError
+from repro.xmldb.node import Node
+
+
+class _Null:
+    """Singleton NULL (the paper's ⊥)."""
+
+    _instance: "_Null | None" = None
+
+    def __new__(cls) -> "_Null":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NULL"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+NULL = _Null()
+
+
+class Tup:
+    """An immutable tuple (set of attribute bindings) with stable attribute
+    order.  Concatenation ``◦`` is :meth:`concat`; projection and renaming
+    mirror the paper's Π variants."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: dict[str, Any] | None = None):
+        self._data: dict[str, Any] = dict(data) if data else {}
+
+    # -- mapping protocol ------------------------------------------------
+    def __getitem__(self, attr: str) -> Any:
+        try:
+            return self._data[attr]
+        except KeyError:
+            raise EvaluationError(
+                f"tuple has no attribute {attr!r}; available: "
+                f"{sorted(self._data)}") from None
+
+    def get(self, attr: str, default: Any = None) -> Any:
+        return self._data.get(attr, default)
+
+    def __contains__(self, attr: str) -> bool:
+        return attr in self._data
+
+    def attrs(self) -> tuple[str, ...]:
+        return tuple(self._data)
+
+    def items(self):
+        return self._data.items()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # -- constructors ----------------------------------------------------
+    def concat(self, other: "Tup") -> "Tup":
+        """Tuple concatenation ``self ◦ other`` (right side wins on
+        duplicate attribute names, which the algebra never relies on)."""
+        merged = dict(self._data)
+        merged.update(other._data)
+        return Tup(merged)
+
+    def extend(self, attr: str, value: Any) -> "Tup":
+        """``self ◦ [attr: value]``."""
+        merged = dict(self._data)
+        merged[attr] = value
+        return Tup(merged)
+
+    def project(self, attrs: Iterable[str]) -> "Tup":
+        """Π over a list of attributes, in the order given."""
+        return Tup({a: self[a] for a in attrs})
+
+    def project_away(self, attrs: Iterable[str]) -> "Tup":
+        drop = set(attrs)
+        return Tup({a: v for a, v in self._data.items() if a not in drop})
+
+    def rename(self, mapping: dict[str, str]) -> "Tup":
+        """Rename attributes ``old -> new``; other attributes untouched."""
+        return Tup({mapping.get(a, a): v for a, v in self._data.items()})
+
+    # -- equality --------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Tup):
+            return NotImplemented
+        if set(self._data) != set(other._data):
+            return False
+        return all(deep_equal(v, other._data[a])
+                   for a, v in self._data.items())
+
+    def __hash__(self) -> int:
+        return hash(frozenset(
+            (a, canonical_key(v)) for a, v in self._data.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{a}: {v!r}" for a, v in self._data.items())
+        return f"[{inner}]"
+
+
+EMPTY_TUPLE = Tup()
+
+
+def null_tuple(attrs: Iterable[str]) -> Tup:
+    """The paper's ⊥_A constructor: every attribute bound to NULL."""
+    return Tup({a: NULL for a in attrs})
+
+
+# ----------------------------------------------------------------------
+# Atomization
+# ----------------------------------------------------------------------
+def atomize(value: Any) -> Any:
+    """XQuery atomization of a single item: nodes become their string
+    value; atomics pass through.  Sequences are not accepted here — use
+    :func:`atomize_sequence`."""
+    if isinstance(value, Node):
+        return value.string_value()
+    if isinstance(value, (list, tuple)):
+        raise EvaluationError(
+            "cannot atomize a sequence where a single item is required")
+    return value
+
+
+def atomize_sequence(value: Any) -> list[Any]:
+    """Atomize a value that may be a single item or a sequence.
+
+    Sequences of tuples (e.g. a ``let``-bound inner query result) atomize
+    item-wise: a single-attribute tuple contributes its attribute's
+    atomized value."""
+    if value is NULL or value is None:
+        return []
+    if isinstance(value, (list, tuple)):
+        result: list[Any] = []
+        for item in value:
+            result.extend(atomize_sequence(item))
+        return result
+    if isinstance(value, Tup):
+        values = [v for _, v in value.items()]
+        if len(values) != 1:
+            raise EvaluationError(
+                f"cannot atomize a {len(values)}-attribute tuple")
+        return atomize_sequence(values[0])
+    return [atomize(value)]
+
+
+def iter_items(value: Any) -> list[Any]:
+    """Flatten a value into a list of items (nodes/atomics/tuples kept
+    as-is), for `for`-clause iteration and function arguments."""
+    if value is NULL or value is None:
+        return []
+    if isinstance(value, (list, tuple)):
+        result: list[Any] = []
+        for item in value:
+            result.extend(iter_items(item))
+        return result
+    return [value]
+
+
+# ----------------------------------------------------------------------
+# Comparison and keys
+# ----------------------------------------------------------------------
+def _as_number(value: Any) -> float | None:
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            return None
+    return None
+
+
+def canonical_key(value: Any) -> Any:
+    """A hashable key such that ``compare_atomic(a, '=', b)`` iff
+    ``canonical_key(a) == canonical_key(b)`` (for atomizable values)."""
+    if value is NULL or value is None:
+        return ("null",)
+    if isinstance(value, Node):
+        value = value.string_value()
+    if isinstance(value, bool):
+        return ("b", value)
+    number = _as_number(value)
+    if number is not None:
+        return ("n", number)
+    if isinstance(value, str):
+        return ("s", value)
+    if isinstance(value, Tup):
+        return ("t", frozenset(
+            (a, canonical_key(v)) for a, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return ("seq", tuple(canonical_key(v) for v in value))
+    raise EvaluationError(f"cannot build a key for value {value!r}")
+
+
+def compare_atomic(left: Any, op: str, right: Any) -> bool:
+    """Compare two single items under the documented coercion rule."""
+    if left is NULL or right is NULL or left is None or right is None:
+        return False
+    left = atomize(left)
+    right = atomize(right)
+    left_num = _as_number(left)
+    right_num = _as_number(right)
+    a: Any
+    b: Any
+    if left_num is not None and right_num is not None:
+        a, b = left_num, right_num
+    elif isinstance(left, bool) or isinstance(right, bool):
+        if op not in ("=", "!="):
+            raise EvaluationError("booleans only support = and !=")
+        a, b = bool(left), bool(right)
+    else:
+        a, b = str(left), str(right)
+    if op == "=":
+        return a == b
+    if op == "!=":
+        return a != b
+    if op == "<":
+        return a < b
+    if op == "<=":
+        return a <= b
+    if op == ">":
+        return a > b
+    if op == ">=":
+        return a >= b
+    raise EvaluationError(f"unknown comparison operator {op!r}")
+
+
+def general_compare(left: Any, op: str, right: Any) -> bool:
+    """XQuery general comparison: existentially quantified over both
+    sides' items (``$a = $seq`` is true iff some item matches)."""
+    left_items = iter_items(left)
+    right_items = iter_items(right)
+    for left_item in left_items:
+        left_value = _item_value(left_item)
+        for right_item in right_items:
+            if compare_atomic(left_value, op, _item_value(right_item)):
+                return True
+    return False
+
+
+def _item_value(item: Any) -> Any:
+    if isinstance(item, Tup):
+        values = [v for _, v in item.items()]
+        if len(values) != 1:
+            raise EvaluationError(
+                "general comparison over multi-attribute tuples")
+        return values[0]
+    return item
+
+
+def deep_equal(left: Any, right: Any) -> bool:
+    """Structural equality used for tuple equality and tests: sequences
+    element-wise, everything else via canonical keys (NULL equals NULL
+    here, unlike in comparisons)."""
+    if isinstance(left, (list, tuple)) and isinstance(right, (list, tuple)):
+        if len(left) != len(right):
+            return False
+        return all(deep_equal(a, b) for a, b in zip(left, right))
+    if isinstance(left, Tup) and isinstance(right, Tup):
+        return left == right
+    if (left is NULL) != (right is NULL):
+        return False
+    if left is NULL:
+        return True
+    if isinstance(left, Node) and isinstance(right, Node):
+        return left is right
+    try:
+        return canonical_key(left) == canonical_key(right)
+    except EvaluationError:
+        return left == right
+
+
+def effective_boolean(value: Any) -> bool:
+    """XQuery effective boolean value of a value or sequence."""
+    if value is NULL or value is None:
+        return False
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    if isinstance(value, str):
+        return len(value) > 0
+    if isinstance(value, Node):
+        return True
+    if isinstance(value, Tup):
+        return True
+    if isinstance(value, (list, tuple)):
+        return len(value) > 0
+    raise EvaluationError(f"no effective boolean value for {value!r}")
+
+
+def sort_key(value: Any) -> tuple:
+    """A total-order key over atomized values (used by the Sort operator);
+    NULL sorts first, numbers before strings.  Sequences (e.g. the node
+    list a path-valued order-by key yields) sort by their items'
+    atomized values — the empty sequence first, like NULL."""
+    if value is NULL or value is None:
+        return (0, 0.0)
+    if isinstance(value, (list, tuple)):
+        if not value:
+            return (0, 0.0)
+        if len(value) == 1:
+            return sort_key(value[0])
+        return (4, tuple(sort_key(v) for v in value))
+    if isinstance(value, Tup):
+        return (5, tuple(sort_key(v) for _, v in value.items()))
+    if isinstance(value, Node):
+        value = value.string_value()
+    number = _as_number(value)
+    if number is not None:
+        return (1, number)
+    if isinstance(value, bool):
+        return (2, value)
+    return (3, str(value))

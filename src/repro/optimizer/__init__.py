@@ -1,0 +1,20 @@
+"""The unnesting optimizer.
+
+- :mod:`repro.optimizer.provenance` — column origins (document + path +
+  duplicate status), derived by the translator and propagated through
+  plans; the raw material of the equivalences' side conditions;
+- :mod:`repro.optimizer.conditions` — the side-condition checkers
+  (``e1 = ΠD_{A1:A2}(Π_{A2}(e2))`` via DTD path reasoning, duplicate
+  freeness, f-independence);
+- :mod:`repro.optimizer.equivalences` — Eqvs. 1–9 of the paper as guarded
+  rewrite rules, plus the supporting rewrites (predicate pushdown into
+  semijoin/antijoin operands, Γ+Ξ fusion into the group-detecting Ξ,
+  the §5.4 self-grouping);
+- :mod:`repro.optimizer.rewriter` — the driver that finds nested sites,
+  enumerates applicable rules and returns ranked plan alternatives.
+"""
+
+from repro.optimizer.provenance import ColumnOrigin, attr_origin
+from repro.optimizer.rewriter import RewriteResult, unnest_plan
+
+__all__ = ["ColumnOrigin", "attr_origin", "RewriteResult", "unnest_plan"]

@@ -1,0 +1,78 @@
+"""Side-condition checkers for the unnesting equivalences.
+
+The paper's equivalences are guarded; applying one whose condition fails
+produces wrong plans (the error it identifies in Paparizos et al. is a
+missing condition).  This module answers the three recurring questions:
+
+- **independence** — F(e2) ∩ A(e1) = ∅: the inner block, *below* its
+  correlation predicate, must not reference outer attributes;
+- **distinct projection** — e1 = ΠD_{A1:A2}(Π_{A2}(e2)): proved by
+  provenance + DTD reasoning (same document, the outer column is
+  duplicate-eliminated, and the two paths denote the same node set in
+  every valid instance);
+- **f-independence** — the grouping function may not depend on the
+  correlation columns (condition of Eqvs. 4/5).
+"""
+
+from __future__ import annotations
+
+from repro.nal.algebra import Operator
+from repro.nal.group_ops import AggSpec
+from repro.optimizer.provenance import ColumnOrigin
+from repro.xmldb.document import DocumentStore
+
+
+def independent(e2: Operator, e1_attrs: frozenset[str]) -> bool:
+    """F(e2) ∩ A(e1) = ∅."""
+    return not (e2.free_vars() & e1_attrs)
+
+
+def f_independent(agg: AggSpec, forbidden: set[str]) -> bool:
+    """f(s) = f(Π_{¬forbidden}(s)) — approximated by: f never reads the
+    forbidden attributes (sufficient for projections/aggregates)."""
+    return not agg.depends_on(forbidden)
+
+
+def distinct_projection_holds(outer: ColumnOrigin | None,
+                              inner: ColumnOrigin | None,
+                              store: DocumentStore) -> bool:
+    """Check ``e1 = ΠD_{A1:A2}(Π_{A2}(e2))`` at the schema level.
+
+    Requirements:
+
+    - both columns' provenance is known and from the same document;
+    - the outer column is duplicate-eliminated (``distinct-values`` /
+      ΠD / µD) — otherwise e1 could repeat keys the grouping collapses;
+    - the document has a DTD and the two paths expand to the same
+      non-empty set of absolute element paths — so in *every* valid
+      instance both columns draw from the same node population (this is
+      exactly what fails for DBLP: ``//author`` ⊋ ``//book/author``).
+    """
+    if outer is None or inner is None:
+        return False
+    if outer.doc != inner.doc:
+        return False
+    if not outer.distinct:
+        return False
+    if outer.doc not in store:
+        return False
+    schema = store.schema_for(outer.doc)
+    if schema is None:
+        return False
+    outer_paths = schema.expand_from_root(_element_steps(outer.steps))
+    inner_paths = schema.expand_from_root(_element_steps(inner.steps))
+    if not outer_paths:
+        return False
+    return outer_paths == inner_paths
+
+
+def _element_steps(steps) -> tuple:
+    """Attribute steps terminate a path; keep them (SchemaInfo models
+    them as pseudo components), but normalize nothing else."""
+    return tuple(steps)
+
+
+def duplicate_free(origin: ColumnOrigin | None) -> bool:
+    """Whether a column is duplicate-free *by value* (the ΠD(e1)
+    hypothesis of Eqvs. 8/9)."""
+    return origin is not None and origin.distinct

@@ -1,0 +1,321 @@
+"""A cost model for NAL plans.
+
+The rewriter's default ranking is the paper's measured ordering
+(group-Ξ ≻ grouping ≻ outer join ≻ …), hard-wired per label.  This
+module provides the alternative the paper leaves implicit ("whenever
+there are alternative applications, the most efficient plan should be
+chosen"): an *estimated* cost per plan, derived from
+
+- per-document tag statistics (exact counts, collected once per store),
+- fanout estimates for path expressions (count(result tag) /
+  count(context tag)),
+- the nested-loop multiplication rule: a nested algebraic expression in
+  a subscript costs (outer cardinality) × (inner plan cost) — which is
+  exactly the asymmetry the unnesting equivalences remove.
+
+Costs are in abstract *node-visit units*: scanning a document costs its
+element count, hash joins cost the sum of their input cardinalities,
+sorts cost n·log₂(n).  The absolute unit is meaningless; what matters —
+and what ``tests/test_cost.py`` asserts against measured times — is
+that the induced ranking matches reality for the paper's queries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.nal.algebra import Operator
+from repro.nal.construct import Construct, GroupConstruct
+from repro.nal.group_ops import GroupBinary, GroupUnary, SelfGroup
+from repro.nal.join_ops import AntiJoin, Cross, Join, OuterJoin, SemiJoin
+from repro.nal.scalar import (
+    DocAccess,
+    Exists,
+    Forall,
+    FuncCall,
+    NestedPlan,
+    PathApply,
+    ScalarExpr,
+)
+from repro.nal.unary_ops import (
+    DistinctProject,
+    Map,
+    Project,
+    ProjectAway,
+    Rename,
+    Select,
+    Singleton,
+    Sort,
+    Table,
+    Unnest,
+    UnnestMap,
+)
+from repro.xmldb.document import DocumentStore
+from repro.xmldb.node import NodeKind
+from repro.xpath.ast import NameTest, Path
+
+#: selectivity assumed for predicates the model cannot analyse
+DEFAULT_SELECTIVITY = 0.5
+#: fanout assumed for paths over documents without statistics
+DEFAULT_FANOUT = 2.0
+
+
+class TagStatistics:
+    """Exact per-document tag counts, computed lazily per store."""
+
+    def __init__(self, store: DocumentStore):
+        self.store = store
+        self._counts: dict[str, dict[str, int]] = {}
+        self._totals: dict[str, int] = {}
+
+    def _ensure(self, doc_name: str) -> None:
+        if doc_name in self._counts or doc_name not in self.store:
+            return
+        counts: dict[str, int] = {}
+        total = 0
+        root = self.store.get(doc_name).root
+        for node in root.iter_descendants(include_self=True):
+            if node.kind is NodeKind.ELEMENT:
+                counts[node.name] = counts.get(node.name, 0) + 1
+                total += 1
+        self._counts[doc_name] = counts
+        self._totals[doc_name] = total
+
+    def tag_count(self, doc_name: str, tag: str) -> float:
+        """Number of ``tag`` elements in the document (0 if unknown)."""
+        self._ensure(doc_name)
+        return float(self._counts.get(doc_name, {}).get(tag, 0))
+
+    def element_count(self, doc_name: str) -> float:
+        """Total elements — the cost of one full scan."""
+        self._ensure(doc_name)
+        return float(self._totals.get(doc_name, 0)) or 100.0
+
+
+@dataclass
+class ScalarCost:
+    """Cost of evaluating a subscript expression once.
+
+    ``fanout`` is the expected number of items it yields (for
+    sequence-valued expressions feeding an Υ or quantifier)."""
+
+    per_eval: float
+    fanout: float
+
+
+@dataclass
+class PlanCost:
+    """Estimated cost of a plan."""
+
+    cardinality: float
+    total: float
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PlanCost card≈{self.cardinality:.0f} " \
+               f"cost≈{self.total:.0f}>"
+
+
+class CostModel:
+    """Estimates :class:`PlanCost` for NAL plans against one store."""
+
+    def __init__(self, store: DocumentStore):
+        self.store = store
+        self.stats = TagStatistics(store)
+        # attr name -> document name, for attributes bound by
+        # χ[d:doc("…")]; populated per estimate() call.
+        self._doc_bindings: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Plan-level estimation
+    # ------------------------------------------------------------------
+    def estimate(self, plan: Operator) -> PlanCost:
+        """Cost of evaluating ``plan`` once (outer invocation)."""
+        self._doc_bindings = {}
+        _collect_doc_bindings(plan, self._doc_bindings)
+        return self._plan(plan)
+
+    def _plan(self, op: Operator) -> PlanCost:
+        if isinstance(op, Singleton):
+            return PlanCost(1.0, 0.0)
+        if isinstance(op, Table):
+            n = float(len(op.rows))
+            return PlanCost(n, n)
+        if isinstance(op, (Project, ProjectAway, Rename)):
+            child = self._plan(op.children[0])
+            return PlanCost(child.cardinality,
+                            child.total + child.cardinality)
+        if isinstance(op, DistinctProject):
+            child = self._plan(op.children[0])
+            distinct = max(1.0, child.cardinality * 0.7)
+            return PlanCost(distinct, child.total + child.cardinality)
+        if isinstance(op, Select):
+            return self._select(op)
+        if isinstance(op, (Map, UnnestMap)):
+            return self._map(op)
+        if isinstance(op, Unnest):
+            child = self._plan(op.children[0])
+            card = child.cardinality * DEFAULT_FANOUT
+            return PlanCost(card, child.total + card)
+        if isinstance(op, Sort):
+            child = self._plan(op.children[0])
+            n = max(2.0, child.cardinality)
+            return PlanCost(child.cardinality,
+                            child.total + n * math.log2(n))
+        if isinstance(op, Cross):
+            left = self._plan(op.children[0])
+            right = self._plan(op.children[1])
+            card = left.cardinality * right.cardinality
+            return PlanCost(card, left.total + right.total + card)
+        if isinstance(op, (Join, SemiJoin, AntiJoin, OuterJoin)):
+            return self._join(op)
+        if isinstance(op, (GroupUnary, GroupBinary, SelfGroup)):
+            return self._group(op)
+        if isinstance(op, (Construct, GroupConstruct)):
+            child = self._plan(op.children[0])
+            per_tuple = sum(self._scalar(e).per_eval
+                            for e in op.scalar_exprs()) + 1.0
+            return PlanCost(child.cardinality,
+                            child.total + child.cardinality * per_tuple)
+        # Unknown operator: charge its children plus its output.
+        children = [self._plan(c) for c in op.children]
+        card = max((c.cardinality for c in children), default=1.0)
+        return PlanCost(card, sum(c.total for c in children) + card)
+
+    # ------------------------------------------------------------------
+    def _select(self, op: Select) -> PlanCost:
+        child = self._plan(op.children[0])
+        pred = self._scalar(op.pred)
+        total = child.total + child.cardinality * (1.0 + pred.per_eval)
+        return PlanCost(max(1.0, child.cardinality * DEFAULT_SELECTIVITY),
+                        total)
+
+    def _map(self, op: Map | UnnestMap) -> PlanCost:
+        child = self._plan(op.children[0])
+        expr = self._scalar(op.expr)
+        total = child.total + child.cardinality * (1.0 + expr.per_eval)
+        if isinstance(op, UnnestMap):
+            card = max(1.0, child.cardinality * expr.fanout)
+        else:
+            card = child.cardinality
+        return PlanCost(card, total)
+
+    def _join(self, op) -> PlanCost:
+        left = self._plan(op.children[0])
+        right = self._plan(op.children[1])
+        # Hash-based equality joins cost the sum of their inputs; the
+        # residual predicate is charged per probed pair (≈ left card).
+        build_probe = left.cardinality + right.cardinality
+        total = left.total + right.total + build_probe
+        if isinstance(op, (SemiJoin, AntiJoin)):
+            card = max(1.0, left.cardinality * DEFAULT_SELECTIVITY)
+        elif isinstance(op, OuterJoin):
+            card = left.cardinality
+        else:
+            card = max(left.cardinality, right.cardinality)
+        return PlanCost(card, total)
+
+    def _group(self, op) -> PlanCost:
+        if isinstance(op, GroupBinary):
+            left = self._plan(op.children[0])
+            right = self._plan(op.children[1])
+            total = (left.total + right.total
+                     + left.cardinality + right.cardinality)
+            return PlanCost(left.cardinality, total)
+        child = self._plan(op.children[0])
+        groups = max(1.0, child.cardinality * 0.7)
+        return PlanCost(groups, child.total + child.cardinality)
+
+    # ------------------------------------------------------------------
+    # Scalar-level estimation
+    # ------------------------------------------------------------------
+    def _scalar(self, expr: ScalarExpr) -> ScalarCost:
+        if isinstance(expr, NestedPlan):
+            inner = self._plan(expr.plan)
+            return ScalarCost(inner.total, max(1.0, inner.cardinality))
+        if isinstance(expr, (Exists, Forall)):
+            source = self._scalar(expr.source)
+            pred = self._scalar(expr.pred)
+            per_eval = source.per_eval + source.fanout * pred.per_eval
+            return ScalarCost(per_eval, 1.0)
+        if isinstance(expr, PathApply):
+            return self._path_apply(expr)
+        if isinstance(expr, DocAccess):
+            return ScalarCost(1.0, 1.0)
+        if isinstance(expr, FuncCall):
+            inner = [self._scalar(a) for a in expr.args]
+            per_eval = sum(a.per_eval for a in inner) + 1.0
+            fanout = 1.0
+            if expr.name == "distinct-values" and inner:
+                fanout = max(1.0, inner[0].fanout * 0.7)
+            return ScalarCost(per_eval, fanout)
+        children = expr.children()
+        if not children:
+            return ScalarCost(0.0, 1.0)
+        inner = [self._scalar(c) for c in children]
+        return ScalarCost(sum(c.per_eval for c in inner), 1.0)
+
+    def _path_apply(self, expr: PathApply) -> ScalarCost:
+        source = self._scalar(expr.source)
+        doc_name = self._root_document(expr.source)
+        if doc_name is None or doc_name not in self.store:
+            # Relative path (e.g. b2/author): small constant fanout.
+            steps = len(expr.path.steps)
+            return ScalarCost(source.per_eval + DEFAULT_FANOUT * steps,
+                              DEFAULT_FANOUT)
+        # Absolute path over a stored document: a // step (or a chain
+        # from the root) is a scan — charge the document's element count
+        # and estimate the fanout from the final name test.
+        scan_cost = self.stats.element_count(doc_name)
+        fanout = self._path_fanout(doc_name, expr.path)
+        return ScalarCost(source.per_eval + scan_cost, fanout)
+
+    def _path_fanout(self, doc_name: str, path: Path) -> float:
+        for step in reversed(path.steps):
+            test = step.test
+            if isinstance(test, NameTest):
+                count = self.stats.tag_count(doc_name, test.name)
+                if count:
+                    return count
+        return max(1.0, self.stats.element_count(doc_name)
+                   * 0.1)
+
+
+    def _root_document(self, expr: ScalarExpr) -> str | None:
+        """The document a source expression denotes, if statically known
+        — either a direct ``doc("…")`` or an attribute some χ binds to
+        one (the translator's ``χ[d1:doc("bib.xml")]`` convention)."""
+        if isinstance(expr, DocAccess):
+            return expr.name
+        from repro.nal.scalar import AttrRef
+        if isinstance(expr, AttrRef):
+            return self._doc_bindings.get(expr.name)
+        children = expr.children()
+        if len(children) == 1:
+            return self._root_document(children[0])
+        return None
+
+
+def _collect_doc_bindings(op: Operator, out: dict[str, str]) -> None:
+    """Record every attribute a χ binds to ``doc("…")``, across the whole
+    plan including nested subscript plans (attribute names are unique by
+    construction of the translator)."""
+    if isinstance(op, Map) and isinstance(op.expr, DocAccess):
+        out[op.attr] = op.expr.name
+    for expr in op.scalar_exprs():
+        _collect_from_scalar(expr, out)
+    for child in op.children:
+        _collect_doc_bindings(child, out)
+
+
+def _collect_from_scalar(expr: ScalarExpr, out: dict[str, str]) -> None:
+    if isinstance(expr, NestedPlan):
+        _collect_doc_bindings(expr.plan, out)
+        return
+    for child in expr.children():
+        _collect_from_scalar(child, out)
+
+
+def estimate(plan: Operator, store: DocumentStore) -> PlanCost:
+    """Convenience wrapper: one-shot cost estimate."""
+    return CostModel(store).estimate(plan)

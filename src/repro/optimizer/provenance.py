@@ -1,0 +1,158 @@
+"""Column provenance.
+
+A :class:`ColumnOrigin` records where an attribute's values come from:
+which document, which path (as simple ``(axis, name)`` steps relative to
+the document's root element), whether duplicate elimination was applied
+(``distinct-values`` / ΠD / µD), and whether the column holds atomized
+values rather than node handles.
+
+The translator stamps origins onto the χ/Υ/µ operators it emits;
+:func:`attr_origin` propagates them through projections, renamings,
+selections, sorts, joins and groupings so the condition checkers can ask
+"is e1's column exactly the distinct projection of e2's column?" — the
+question behind Eqvs. 3/5/8/9's side conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.nal.algebra import Operator
+from repro.nal.construct import Construct, GroupConstruct
+from repro.nal.group_ops import GroupBinary, GroupUnary, SelfGroup
+from repro.nal.join_ops import AntiJoin, Cross, Join, OuterJoin, SemiJoin
+from repro.nal.unary_ops import (
+    DistinctProject,
+    Map,
+    Project,
+    ProjectAway,
+    Rename,
+    Select,
+    Sort,
+    Unnest,
+    UnnestMap,
+)
+from repro.xpath.ast import Path
+
+Step = tuple[str, str]
+
+
+@dataclass(frozen=True)
+class ColumnOrigin:
+    """Provenance of one attribute."""
+
+    doc: str
+    steps: tuple[Step, ...]
+    distinct: bool = False
+    values: bool = False
+
+    def extend(self, path: Path) -> "ColumnOrigin | None":
+        """The origin after navigating ``path`` from this column's nodes.
+
+        Returns ``None`` when the path cannot be reasoned about (wildcard
+        or text() tests, or leftover predicates) or when this column no
+        longer holds nodes."""
+        if self.values:
+            return None
+        if path.has_predicates():
+            return None
+        simple = path.simple_steps()
+        if simple is None:
+            return None
+        return ColumnOrigin(self.doc, self.steps + tuple(simple),
+                            distinct=False, values=False)
+
+    def with_distinct(self, values: bool = True) -> "ColumnOrigin":
+        return replace(self, distinct=True, values=values)
+
+    def __str__(self) -> str:
+        text = self.doc
+        for axis, name in self.steps:
+            text += ("//" if axis == "descendant" else "/") + \
+                ("@" + name if axis == "attribute" else name)
+        if self.distinct:
+            text = f"distinct({text})"
+        return text
+
+
+def attr_origin(plan: Operator, attr: str) -> ColumnOrigin | None:
+    """The provenance of ``attr`` in ``plan``'s output, or ``None`` when
+    it cannot be established."""
+    if isinstance(plan, (Map, UnnestMap)):
+        if plan.attr == attr:
+            return plan.origin
+        return attr_origin(plan.children[0], attr)
+    if isinstance(plan, Unnest):
+        if attr in plan.item_attrs:
+            origin = plan.origin
+            if origin is not None and plan.dedup:
+                return origin.with_distinct(values=origin.values)
+            return origin
+        if attr == plan.attr:
+            return None
+        return attr_origin(plan.children[0], attr)
+    if isinstance(plan, Rename):
+        reverse = {new: old for old, new in plan.mapping.items()}
+        return attr_origin(plan.children[0], reverse.get(attr, attr))
+    if isinstance(plan, DistinctProject):
+        reverse = {new: old for old, new in plan.renaming.items()}
+        source_attr = reverse.get(attr, attr)
+        origin = attr_origin(plan.children[0], source_attr)
+        if origin is None:
+            return None
+        if len(plan.attributes) == 1:
+            return origin.with_distinct(values=origin.values)
+        return origin
+    if isinstance(plan, (Project, ProjectAway, Select, Sort, Construct,
+                         GroupConstruct)):
+        return attr_origin(plan.children[0], attr)
+    if isinstance(plan, (Cross, Join, OuterJoin)):
+        left, right = plan.children
+        if attr in left.attrs():
+            return attr_origin(left, attr)
+        if attr in right.attrs():
+            return attr_origin(right, attr)
+        return None
+    if isinstance(plan, (SemiJoin, AntiJoin)):
+        return attr_origin(plan.children[0], attr)
+    if isinstance(plan, GroupUnary):
+        if attr in plan.by_attrs:
+            origin = attr_origin(plan.children[0], attr)
+            if origin is None:
+                return None
+            # Group keys are the distinct values of the child's column.
+            return origin.with_distinct(values=origin.values)
+        return None
+    if isinstance(plan, (GroupBinary, SelfGroup)):
+        if attr == plan.group_attr:
+            return None
+        return attr_origin(plan.children[0], attr)
+    return None
+
+
+def pure_scan_signature(plan: Operator) -> list[tuple[str, str,
+                                                      ColumnOrigin]] | None:
+    """If ``plan`` is a pure path scan — a chain of χ/Υ over document
+    paths with no filtering — return its spine as ``(kind, attr, origin)``
+    entries (document-handle bindings omitted), else ``None``.
+
+    Two pure scans with equal origin spines produce, position for
+    position, the same sequences up to attribute names — the structural
+    isomorphism behind the §5.4 self-grouping rewrite."""
+    spine: list[tuple[str, str, ColumnOrigin]] = []
+    node: Operator = plan
+    while True:
+        if isinstance(node, (Map, UnnestMap)):
+            origin = node.origin
+            if origin is None:
+                return None
+            if origin.steps or origin.distinct:
+                kind = "U" if isinstance(node, UnnestMap) else "M"
+                spine.append((kind, node.attr, origin))
+            node = node.children[0]
+            continue
+        from repro.nal.unary_ops import Singleton
+        if isinstance(node, Singleton):
+            spine.reverse()
+            return spine
+        return None

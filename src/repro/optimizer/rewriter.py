@@ -1,0 +1,235 @@
+"""The rewrite driver.
+
+``unnest_plan`` walks a translated plan from its sink (the Ξ at the root)
+down the operator spine, tracking which attributes the ancestors still
+need (the projection the paper applies before checking Eqv. 3/5's side
+conditions).  At each nested site — a χ whose subscript holds a nested
+algebraic expression, or a σ carrying a quantifier over one — it collects
+every applicable equivalence and emits one complete plan per alternative,
+ranked:
+
+    group-Ξ fusion  ≻  pure grouping (Eqvs. 3/5/8/9, self-grouping)
+                    ≻  outer join (Eqvs. 2/4)  ≻  nest-join (Eqv. 1)
+                    ≻  semijoin/antijoin (Eqvs. 6/7)  ≻  nested
+
+which mirrors the measured ordering of the paper's §5 tables.  The
+original (nested) plan is always included, so benchmarks can compare all
+variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RewriteError
+from repro.nal.algebra import Operator
+from repro.nal.construct import Construct, Out
+from repro.nal.join_ops import AntiJoin, SemiJoin
+from repro.nal.scalar import AttrRef
+from repro.nal.unary_ops import (
+    Map,
+    Project,
+    ProjectAway,
+    Rename,
+    Select,
+    Sort,
+    UnnestMap,
+)
+from repro.optimizer import equivalences as eq
+from repro.xmldb.document import DocumentStore
+
+#: smaller rank = better plan
+_RANKS = {
+    "group-xi": 0,
+    "grouping": 1,
+    "outerjoin": 2,
+    "nestjoin": 3,
+    "semijoin": 4,
+    "antijoin": 4,
+    "nested": 9,
+}
+
+
+@dataclass
+class RewriteResult:
+    """One complete plan alternative."""
+
+    label: str
+    plan: Operator
+    applied: tuple[str, ...]
+    #: estimated cost (set when unnest_plan ran with ranking="cost")
+    cost: "PlanCost | None" = None
+
+    @property
+    def rank(self) -> int:
+        return _RANKS.get(self.label, 5)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rules = "+".join(self.applied) if self.applied else "-"
+        cost = "" if self.cost is None else f" cost≈{self.cost.total:.0f}"
+        return f"<RewriteResult {self.label} [{rules}]{cost}>"
+
+
+def unnest_plan(plan: Operator, store: DocumentStore,
+                ranking: str = "heuristic") -> list[RewriteResult]:
+    """All plan alternatives for ``plan``, best first.
+
+    ``ranking="heuristic"`` (default) orders by the paper's measured
+    plan hierarchy (group-Ξ ≻ grouping ≻ outer join ≻ nest-join ≻
+    semi/antijoin ≻ nested), with the nested original always last.
+    ``ranking="cost"`` orders by the estimated cost of
+    :mod:`repro.optimizer.cost` (ties broken by the heuristic rank, so
+    the nested plan never beats an equal-cost rewrite).
+    """
+    if ranking not in ("heuristic", "cost"):
+        raise RewriteError(f"unknown ranking {ranking!r}; "
+                           "use 'heuristic' or 'cost'")
+    variants = _alternatives(plan, frozenset(), store)
+    results: list[RewriteResult] = []
+    for label, rewritten, applied in variants:
+        fused = eq.fuse_group_construct(rewritten)
+        if fused is not None:
+            results.append(RewriteResult("group-xi", fused,
+                                         applied + ("fuse-xi",)))
+        results.append(RewriteResult(label, rewritten, applied))
+    if ranking == "cost":
+        from repro.optimizer.cost import CostModel
+        model = CostModel(store)
+        for result in results:
+            result.cost = model.estimate(result.plan)
+        results.sort(key=lambda r: (r.cost.total, r.rank))
+    else:
+        results.sort(key=lambda r: r.rank)
+    return results
+
+
+def best_plan(plan: Operator, store: DocumentStore,
+              ranking: str = "heuristic") -> RewriteResult:
+    """The top-ranked alternative."""
+    return unnest_plan(plan, store, ranking=ranking)[0]
+
+
+# ----------------------------------------------------------------------
+# Spine traversal with needed-attribute tracking
+# ----------------------------------------------------------------------
+Variant = tuple[str, Operator, tuple[str, ...]]
+
+
+def _alternatives(op: Operator, needed: frozenset[str],
+                  store: DocumentStore) -> list[Variant]:
+    """Plan alternatives for the subtree under ``op``.  The first entry
+    is always the unchanged ('nested') subtree."""
+    if isinstance(op, Construct):
+        child_needed = frozenset(
+            a for expr in op.scalar_exprs() for a in expr.free_attrs())
+        return _wrap(op, _alternatives(op.children[0], child_needed,
+                                       store))
+    if isinstance(op, Select):
+        site = eq.match_quantifier_site(op)
+        if site is not None:
+            return _quantifier_variants(op, site, needed, store)
+        child_needed = needed | op.pred.free_attrs()
+        return _wrap(op, _alternatives(op.children[0], child_needed,
+                                       store))
+    if isinstance(op, Map):
+        site = eq.match_map_site(op)
+        if site is not None:
+            return _map_variants(op, site, needed, store)
+        return _passthrough(op, needed, store)
+    if isinstance(op, (Project, Rename, ProjectAway, Sort, UnnestMap)):
+        return _passthrough(op, needed, store)
+    return [("nested", op, ())]
+
+
+def _passthrough(op: Operator, needed: frozenset[str],
+                 store: DocumentStore) -> list[Variant]:
+    if len(op.children) != 1:
+        return [("nested", op, ())]
+    child_needed = _needed_below(op, needed)
+    return _wrap(op, _alternatives(op.children[0], child_needed, store))
+
+
+def _needed_below(op: Operator, needed: frozenset[str]) -> frozenset[str]:
+    if isinstance(op, Project):
+        return frozenset(op.attributes)
+    if isinstance(op, Rename):
+        reverse = {new: old for old, new in op.mapping.items()}
+        return frozenset(reverse.get(a, a) for a in needed)
+    if isinstance(op, (UnnestMap, Map)):
+        extra = frozenset(
+            a for expr in op.scalar_exprs() for a in expr.free_attrs())
+        return (needed - {op.attr}) | extra
+    if isinstance(op, ProjectAway):
+        return needed | frozenset()
+    if isinstance(op, Sort):
+        return needed | frozenset(op.attributes)
+    return needed
+
+
+def _wrap(op: Operator, child_variants: list[Variant]) -> list[Variant]:
+    wrapped: list[Variant] = []
+    for label, child, applied in child_variants:
+        if child is op.children[0]:
+            wrapped.append((label, op, applied))
+        else:
+            wrapped.append((label, op.rebuild((child,) +
+                                              op.children[1:]), applied))
+    return wrapped
+
+
+# ----------------------------------------------------------------------
+# Site expansion
+# ----------------------------------------------------------------------
+def _map_variants(op: Map, site: eq.MapSite, needed: frozenset[str],
+                  store: DocumentStore) -> list[Variant]:
+    variants: list[Variant] = [("nested", op, ())]
+    _require_group_needed(op, needed)
+    if site.corr_kind == "theta":
+        if eq.eqv3_applicable(site, store, needed):
+            variants.append(
+                ("grouping", eq.apply_eqv3(site, store, needed),
+                 ("eqv3",)))
+        if site.theta == "=":
+            variants.append(("outerjoin", eq.apply_eqv2(site), ("eqv2",)))
+        variants.append(("nestjoin", eq.apply_eqv1(site), ("eqv1",)))
+    else:
+        if eq.eqv5_applicable(site, store, needed):
+            variants.append(
+                ("grouping", eq.apply_eqv5(site, store, needed),
+                 ("eqv5",)))
+        variants.append(("outerjoin", eq.apply_eqv4(site), ("eqv4",)))
+    return variants
+
+
+def _quantifier_variants(op: Select, site: eq.QuantifierSite,
+                         needed: frozenset[str],
+                         store: DocumentStore) -> list[Variant]:
+    variants: list[Variant] = [("nested", op, ())]
+    if site.kind == "some":
+        joined = eq.apply_eqv6(site)
+        variants.append(("semijoin", joined, ("eqv6",)))
+        pushed = eq.push_into_right(joined)
+        if eq.eqv89_applicable(pushed, store, needed):
+            variants.append(
+                ("grouping", eq.apply_eqv8_or_9(pushed, store, needed),
+                 ("eqv6", "eqv8")))
+        elif eq.self_group_applicable(pushed):
+            variants.append(
+                ("grouping", eq.apply_self_group(pushed),
+                 ("eqv6", "eqv8-self")))
+    else:
+        joined = eq.apply_eqv7(site)
+        variants.append(("antijoin", joined, ("eqv7",)))
+        pushed = eq.push_into_right(joined)
+        if eq.eqv89_applicable(pushed, store, needed):
+            variants.append(
+                ("grouping", eq.apply_eqv8_or_9(pushed, store, needed),
+                 ("eqv7", "eqv9")))
+    return variants
+
+
+def _require_group_needed(op: Map, needed: frozenset[str]) -> None:
+    if needed and op.attr not in needed:
+        raise RewriteError(
+            f"nested attribute {op.attr!r} is never used above its χ — "
+            "drop the clause instead of unnesting it")

@@ -1,0 +1,31 @@
+"""In-memory XML document store (the Natix stand-in).
+
+This subpackage provides:
+
+- :mod:`repro.xmldb.node` — the node model (elements, text, attributes)
+  with global document order;
+- :mod:`repro.xmldb.parser` — a from-scratch, non-validating XML parser;
+- :mod:`repro.xmldb.serialize` — serialization back to XML text;
+- :mod:`repro.xmldb.dtd` — a DTD parser and the :class:`SchemaInfo`
+  structural reasoner used by the unnesting optimizer's side conditions;
+- :mod:`repro.xmldb.document` — :class:`Document` and the named
+  :class:`DocumentStore` with per-document scan statistics.
+"""
+
+from repro.xmldb.node import Node, NodeKind
+from repro.xmldb.parser import parse_document
+from repro.xmldb.serialize import serialize
+from repro.xmldb.dtd import DTD, SchemaInfo, parse_dtd
+from repro.xmldb.document import Document, DocumentStore
+
+__all__ = [
+    "Node",
+    "NodeKind",
+    "parse_document",
+    "serialize",
+    "DTD",
+    "SchemaInfo",
+    "parse_dtd",
+    "Document",
+    "DocumentStore",
+]

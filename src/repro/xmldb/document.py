@@ -1,0 +1,172 @@
+"""Documents and the named document store.
+
+:class:`DocumentStore` is the "database" of this reproduction: XQuery's
+``doc("bib.xml")`` resolves against it.  Besides holding parsed documents it
+keeps *scan statistics*: every time the XPath evaluator walks a whole
+document (a ``//tag`` or a path from the root), the store records one scan
+for that document.  The paper's performance argument is exactly about these
+scan counts — a nested plan scans the inner document once per outer tuple
+while an unnested plan scans each document a constant number of times — so
+the statistics make the asymptotic claim checkable without a stopwatch.
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    DuplicateDocumentError,
+    UnknownDocumentError,
+    XMLParseError,
+)
+from repro.xmldb.dtd import DTD, SchemaInfo, parse_dtd
+from repro.xmldb.node import Node
+from repro.xmldb.parser import parse_document
+
+
+class Document:
+    """One named XML document plus its (optional) DTD-derived schema."""
+
+    def __init__(self, name: str, root: Node, dtd: DTD | None = None):
+        self.name = name
+        self.root = root
+        self.dtd = dtd
+        self.schema: SchemaInfo | None = None
+        if dtd is not None:
+            self.schema = SchemaInfo(dtd, root=root.name)
+        _adopt(root, self)
+
+    @property
+    def element_count(self) -> int:
+        """Number of element nodes (used in Fig. 6-style size tables)."""
+        from repro.xmldb.node import NodeKind
+        return sum(1 for n in self.root.iter_descendants(include_self=True)
+                   if n.kind is NodeKind.ELEMENT)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Document {self.name!r} root={self.root.name!r}>"
+
+
+def _adopt(root: Node, document: Document) -> None:
+    root.document = document
+    for node in root.iter_descendants():
+        node.document = document
+    for attr in _iter_attributes(root):
+        attr.document = document
+
+
+def _iter_attributes(root: Node):
+    from repro.xmldb.node import NodeKind
+    if root.kind is NodeKind.ELEMENT:
+        yield from root.attributes
+        for child in root.children:
+            if child.kind is NodeKind.ELEMENT:
+                yield from _iter_attributes(child)
+
+
+class ScanStats:
+    """Mutable counters describing how much work an execution did."""
+
+    def __init__(self):
+        self.document_scans: dict[str, int] = {}
+        self.node_visits: int = 0
+
+    def record_scan(self, document_name: str) -> None:
+        self.document_scans[document_name] = \
+            self.document_scans.get(document_name, 0) + 1
+
+    def record_visits(self, count: int) -> None:
+        self.node_visits += count
+
+    @property
+    def total_scans(self) -> int:
+        return sum(self.document_scans.values())
+
+    def reset(self) -> None:
+        self.document_scans.clear()
+        self.node_visits = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "document_scans": dict(self.document_scans),
+            "total_scans": self.total_scans,
+            "node_visits": self.node_visits,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ScanStats scans={self.document_scans} " \
+               f"visits={self.node_visits}>"
+
+
+class DocumentStore:
+    """A named collection of XML documents with scan accounting.
+
+    Documents can be registered from text (DTD in the DOCTYPE is picked up
+    automatically), from an already-built :class:`Node` tree, or from a
+    generator in :mod:`repro.datagen`.
+    """
+
+    def __init__(self):
+        self._documents: dict[str, Document] = {}
+        self.stats = ScanStats()
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_text(self, name: str, text: str,
+                      dtd_text: str | None = None) -> Document:
+        """Parse ``text`` and register it under ``name``.
+
+        A DTD given either via ``dtd_text`` or inline in a DOCTYPE becomes
+        the document's schema (used by the optimizer's side conditions).
+        """
+        result = parse_document(text)
+        dtd = None
+        effective_dtd_text = dtd_text or result.dtd_text
+        if effective_dtd_text:
+            dtd = parse_dtd(effective_dtd_text)
+        return self.register_tree(name, result.root, dtd)
+
+    def register_tree(self, name: str, root: Node,
+                      dtd: DTD | None = None) -> Document:
+        """Register an already-built node tree under ``name``.
+
+        Raises :class:`~repro.errors.DuplicateDocumentError` if ``name``
+        is already registered — replacing a document under a running
+        optimizer would silently invalidate cached schema facts.
+        """
+        from repro.xmldb.node import assign_order_keys
+        if name in self._documents:
+            raise DuplicateDocumentError(name)
+        if root.order_key < 0:
+            assign_order_keys(root)
+        document = Document(name, root, dtd)
+        self._documents[name] = document
+        return document
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Document:
+        if name not in self._documents:
+            raise UnknownDocumentError(name, list(self._documents))
+        return self._documents[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._documents
+
+    def names(self) -> list[str]:
+        return sorted(self._documents)
+
+    def schema_for(self, name: str) -> SchemaInfo | None:
+        """The document's schema, or ``None`` if it had no DTD."""
+        return self.get(name).schema
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+    def validate_well_formed(self, text: str) -> bool:
+        """Cheap check used by tests and the data generators."""
+        try:
+            parse_document(text)
+        except XMLParseError:
+            return False
+        return True

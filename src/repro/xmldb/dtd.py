@@ -1,0 +1,434 @@
+"""DTD parsing and structural reasoning.
+
+The unnesting equivalences of the paper carry side conditions of the form
+``e1 = ΠD_{A1:A2}(Π_{A2}(e2))`` — "the outer sequence is exactly the
+duplicate-eliminated projection of the inner one".  The paper checks these
+conditions against the DTD: e.g. Eqv. 5 applies to query 1.1.9.4 only
+because, in the XMP DTD, ``author`` elements occur *only* directly beneath
+``book`` elements, so ``//author`` and ``//book/author`` denote the same
+node sequence.  (Exactly this check fails for DBLP.)
+
+:class:`DTD` is the parsed set of ``<!ELEMENT>``/``<!ATTLIST>`` declarations;
+:class:`SchemaInfo` answers the structural questions:
+
+- which absolute tag paths can lead to elements with a given name,
+- whether two simple path patterns denote the same node set,
+- whether a parent has exactly one / at most one child of a tag,
+- whether a tag occurs only beneath a given parent tag.
+
+Path patterns here are lists of ``(axis, name)`` steps with axis
+``"child"`` or ``"descendant"`` — the fragment the paper's queries use.
+The XPath front end converts its ASTs into this form (see
+:mod:`repro.optimizer.provenance`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DTDParseError
+
+# Occurrence bounds: (minimum, maximum) with ``None`` meaning unbounded.
+Occurrence = tuple[int, int | None]
+
+_UNBOUNDED: Occurrence = (0, None)
+_NEVER: Occurrence = (0, 0)
+
+
+# ----------------------------------------------------------------------
+# Content model AST
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ContentParticle:
+    """Base class for content-model particles."""
+
+
+@dataclass(frozen=True)
+class NameParticle(ContentParticle):
+    name: str
+
+
+@dataclass(frozen=True)
+class PCDataParticle(ContentParticle):
+    pass
+
+
+@dataclass(frozen=True)
+class SeqParticle(ContentParticle):
+    items: tuple[ContentParticle, ...]
+
+
+@dataclass(frozen=True)
+class ChoiceParticle(ContentParticle):
+    items: tuple[ContentParticle, ...]
+
+
+@dataclass(frozen=True)
+class RepeatParticle(ContentParticle):
+    """A particle with an occurrence modifier ``?``, ``*`` or ``+``."""
+
+    item: ContentParticle
+    modifier: str  # one of "?", "*", "+"
+
+
+@dataclass(frozen=True)
+class EmptyParticle(ContentParticle):
+    """EMPTY or ANY content (ANY is treated as opaque)."""
+
+    any_content: bool = False
+
+
+@dataclass
+class AttributeDecl:
+    """One attribute from an ``<!ATTLIST>`` declaration."""
+
+    name: str
+    attr_type: str
+    default: str  # "#REQUIRED", "#IMPLIED", "#FIXED" or a literal
+
+
+@dataclass
+class DTD:
+    """A parsed DTD: element content models plus attribute lists."""
+
+    elements: dict[str, ContentParticle] = field(default_factory=dict)
+    attributes: dict[str, dict[str, AttributeDecl]] = field(
+        default_factory=dict)
+    first_element: str | None = None
+
+    # ------------------------------------------------------------------
+    def child_tags(self, parent: str) -> set[str]:
+        """Tag names that may occur as direct children of ``parent``."""
+        model = self.elements.get(parent)
+        if model is None:
+            return set()
+        names: set[str] = set()
+        _collect_names(model, names)
+        return names
+
+    def child_occurrence(self, parent: str, child: str) -> Occurrence:
+        """(min, max) number of ``child`` children a ``parent`` may have."""
+        model = self.elements.get(parent)
+        if model is None:
+            return _NEVER
+        return _occurrence(model, child)
+
+    def has_exactly_one(self, parent: str, child: str) -> bool:
+        """True iff every ``parent`` has exactly one ``child`` element.
+
+        This is the fact that lets the translator use ``=`` instead of
+        ``∈`` (e.g. every ``book`` has exactly one ``title``)."""
+        return self.child_occurrence(parent, child) == (1, 1)
+
+    def has_at_most_one(self, parent: str, child: str) -> bool:
+        minimum, maximum = self.child_occurrence(parent, child)
+        del minimum
+        return maximum is not None and maximum <= 1
+
+
+def _collect_names(particle: ContentParticle, out: set[str]) -> None:
+    if isinstance(particle, NameParticle):
+        out.add(particle.name)
+    elif isinstance(particle, (SeqParticle, ChoiceParticle)):
+        for item in particle.items:
+            _collect_names(item, out)
+    elif isinstance(particle, RepeatParticle):
+        _collect_names(particle.item, out)
+
+
+def _occurrence(particle: ContentParticle, name: str) -> Occurrence:
+    """How many times ``name`` can occur in one instance of ``particle``."""
+    if isinstance(particle, NameParticle):
+        return (1, 1) if particle.name == name else _NEVER
+    if isinstance(particle, (PCDataParticle, EmptyParticle)):
+        return _NEVER
+    if isinstance(particle, SeqParticle):
+        low, high = 0, 0
+        for item in particle.items:
+            item_low, item_high = _occurrence(item, name)
+            low += item_low
+            high = None if (high is None or item_high is None) \
+                else high + item_high
+        return (low, high)
+    if isinstance(particle, ChoiceParticle):
+        lows, highs = [], []
+        for item in particle.items:
+            item_low, item_high = _occurrence(item, name)
+            lows.append(item_low)
+            highs.append(item_high)
+        high = None if any(h is None for h in highs) else max(highs)
+        return (min(lows), high)
+    if isinstance(particle, RepeatParticle):
+        low, high = _occurrence(particle.item, name)
+        if particle.modifier == "?":
+            return (0, high)
+        if particle.modifier == "*":
+            return (0, None if high not in (0,) else 0)
+        if particle.modifier == "+":
+            return (low, None if high not in (0,) else 0)
+    raise DTDParseError(f"unknown content particle {particle!r}")
+
+
+# ----------------------------------------------------------------------
+# DTD text parsing
+# ----------------------------------------------------------------------
+def parse_dtd(text: str) -> DTD:
+    """Parse the internal subset of a DOCTYPE (``<!ELEMENT>``/``<!ATTLIST>``
+    declarations).  Comments are skipped; anything else raises
+    :class:`DTDParseError`."""
+    dtd = DTD()
+    pos = 0
+    length = len(text)
+    while pos < length:
+        if text[pos] in " \t\r\n":
+            pos += 1
+            continue
+        if text.startswith("<!--", pos):
+            end = text.find("-->", pos)
+            if end < 0:
+                raise DTDParseError("unterminated comment in DTD")
+            pos = end + 3
+            continue
+        if text.startswith("<!ELEMENT", pos):
+            pos = _parse_element_decl(text, pos, dtd)
+            continue
+        if text.startswith("<!ATTLIST", pos):
+            pos = _parse_attlist_decl(text, pos, dtd)
+            continue
+        raise DTDParseError(
+            f"unexpected DTD content at: {text[pos:pos + 30]!r}")
+    return dtd
+
+
+def _parse_element_decl(text: str, pos: int, dtd: DTD) -> int:
+    end = text.find(">", pos)
+    if end < 0:
+        raise DTDParseError("unterminated <!ELEMENT declaration")
+    body = text[pos + len("<!ELEMENT"):end].strip()
+    if not body:
+        raise DTDParseError("empty <!ELEMENT declaration")
+    name, _, model_text = body.partition(" ")
+    name = name.strip()
+    model_text = model_text.strip()
+    if not name or not model_text:
+        raise DTDParseError(f"malformed <!ELEMENT declaration: {body!r}")
+    model, rest = _parse_particle(model_text)
+    if rest.strip():
+        raise DTDParseError(
+            f"trailing content in content model for {name}: {rest!r}")
+    dtd.elements[name] = model
+    if dtd.first_element is None:
+        dtd.first_element = name
+    return end + 1
+
+
+def _parse_attlist_decl(text: str, pos: int, dtd: DTD) -> int:
+    end = text.find(">", pos)
+    if end < 0:
+        raise DTDParseError("unterminated <!ATTLIST declaration")
+    body = text[pos + len("<!ATTLIST"):end].split()
+    if len(body) < 4:
+        raise DTDParseError("malformed <!ATTLIST declaration")
+    element_name = body[0]
+    declarations = body[1:]
+    attrs = dtd.attributes.setdefault(element_name, {})
+    i = 0
+    while i + 2 < len(declarations) + 1 and i < len(declarations):
+        if i + 3 > len(declarations):
+            raise DTDParseError("truncated <!ATTLIST declaration")
+        attr_name, attr_type, default = declarations[i:i + 3]
+        attrs[attr_name] = AttributeDecl(attr_name, attr_type, default)
+        i += 3
+    return end + 1
+
+
+def _parse_particle(text: str) -> tuple[ContentParticle, str]:
+    """Parse one content particle; return (particle, remaining_text)."""
+    text = text.lstrip()
+    if text.startswith("EMPTY"):
+        return EmptyParticle(), text[len("EMPTY"):]
+    if text.startswith("ANY"):
+        return EmptyParticle(any_content=True), text[len("ANY"):]
+    if text.startswith("("):
+        return _parse_group(text)
+    raise DTDParseError(f"cannot parse content model: {text!r}")
+
+
+def _parse_group(text: str) -> tuple[ContentParticle, str]:
+    assert text[0] == "("
+    rest = text[1:]
+    items: list[ContentParticle] = []
+    separator: str | None = None
+    while True:
+        rest = rest.lstrip()
+        if not rest:
+            raise DTDParseError("unterminated group in content model")
+        if rest.startswith("#PCDATA"):
+            item: ContentParticle = PCDataParticle()
+            rest = rest[len("#PCDATA"):]
+        elif rest.startswith("("):
+            item, rest = _parse_group(rest)
+        else:
+            name_len = 0
+            while (name_len < len(rest)
+                   and (rest[name_len].isalnum()
+                        or rest[name_len] in "_-.:")):
+                name_len += 1
+            if name_len == 0:
+                raise DTDParseError(
+                    f"expected name in content model near {rest[:20]!r}")
+            item = NameParticle(rest[:name_len])
+            rest = rest[name_len:]
+        if rest[:1] in ("?", "*", "+"):
+            item = RepeatParticle(item, rest[0])
+            rest = rest[1:]
+        items.append(item)
+        rest = rest.lstrip()
+        if rest[:1] == ")":
+            rest = rest[1:]
+            if len(items) == 1:
+                group: ContentParticle = items[0]
+            elif separator == "|":
+                group = ChoiceParticle(tuple(items))
+            else:
+                group = SeqParticle(tuple(items))
+            if rest[:1] in ("?", "*", "+"):
+                group = RepeatParticle(group, rest[0])
+                rest = rest[1:]
+            return group, rest
+        if rest[:1] in (",", "|"):
+            if separator is None:
+                separator = rest[0]
+            elif separator != rest[0]:
+                raise DTDParseError(
+                    "mixed ',' and '|' separators in one group")
+            rest = rest[1:]
+        else:
+            raise DTDParseError(
+                f"expected ',', '|' or ')' near {rest[:20]!r}")
+
+
+# ----------------------------------------------------------------------
+# Structural reasoning
+# ----------------------------------------------------------------------
+# A simple path step: ("child" | "descendant", tag-name)
+Step = tuple[str, str]
+AbsolutePath = tuple[str, ...]
+
+
+class SchemaInfo:
+    """Structural facts derived from a DTD, as used by the optimizer.
+
+    Parameters
+    ----------
+    dtd:
+        The parsed DTD.
+    root:
+        The document element name.  Defaults to the first declared element
+        (which is the convention in the use-case DTDs).
+    max_depth:
+        Safety bound when the element graph is recursive.
+    """
+
+    def __init__(self, dtd: DTD, root: str | None = None,
+                 max_depth: int = 12):
+        self.dtd = dtd
+        self.root = root or dtd.first_element
+        if self.root is None:
+            raise DTDParseError("DTD declares no elements")
+        self.max_depth = max_depth
+        self._all_paths_cache: dict[str, frozenset[AbsolutePath]] = {}
+        self._universe: frozenset[AbsolutePath] | None = None
+
+    # ------------------------------------------------------------------
+    def all_element_paths(self) -> frozenset[AbsolutePath]:
+        """Every absolute tag path (root included) the DTD permits."""
+        if self._universe is None:
+            paths: set[AbsolutePath] = set()
+
+            def walk(tag: str, prefix: AbsolutePath) -> None:
+                path = prefix + (tag,)
+                if len(path) > self.max_depth:
+                    return
+                paths.add(path)
+                for child in self.dtd.child_tags(tag):
+                    if child in self.dtd.elements:
+                        walk(child, path)
+
+            walk(self.root, ())
+            self._universe = frozenset(paths)
+        return self._universe
+
+    def paths_of_tag(self, tag: str) -> frozenset[AbsolutePath]:
+        """Absolute paths at which elements named ``tag`` can occur."""
+        if tag not in self._all_paths_cache:
+            self._all_paths_cache[tag] = frozenset(
+                p for p in self.all_element_paths() if p[-1] == tag)
+        return self._all_paths_cache[tag]
+
+    def expand_steps(self, steps: list[Step],
+                     start: AbsolutePath | None = None
+                     ) -> frozenset[AbsolutePath]:
+        """Absolute paths matched by a pattern of simple steps.
+
+        ``start`` is the context path; ``None`` means the document node
+        (so a leading ``child::root`` or ``descendant::x`` is resolved
+        against the document)."""
+        if start is None:
+            contexts: set[AbsolutePath] = {()}
+        else:
+            contexts = {start}
+        for axis, name in steps:
+            next_contexts: set[AbsolutePath] = set()
+            for context in contexts:
+                if axis == "child":
+                    if context == ():
+                        if name == self.root:
+                            next_contexts.add((self.root,))
+                    else:
+                        if name in self.dtd.child_tags(context[-1]):
+                            next_contexts.add(context + (name,))
+                elif axis == "descendant":
+                    for path in self.paths_of_tag(name):
+                        if path[:len(context)] == context and \
+                                len(path) > len(context):
+                            next_contexts.add(path)
+                elif axis == "attribute":
+                    # Attribute steps terminate a path; model them as a
+                    # pseudo-component so distinct attributes stay distinct.
+                    next_contexts.add(context + ("@" + name,))
+                else:
+                    raise DTDParseError(f"unsupported axis {axis!r}")
+            contexts = next_contexts
+        return frozenset(contexts)
+
+    def expand_from_root(self, steps) -> frozenset[AbsolutePath]:
+        """Expand steps whose context is the document's *root element*
+        (the convention of :class:`~repro.optimizer.provenance.
+        ColumnOrigin`): ``(child, book)`` means a book child of the root.
+        """
+        return self.expand_steps(list(steps), start=(self.root,))
+
+    def same_node_set(self, steps1: list[Step], steps2: list[Step]) -> bool:
+        """True iff two absolute patterns denote the same element paths.
+
+        This is the schema-level test behind the paper's condition
+        ``e1 = ΠD_{A1:A2}(Π_{A2}(e2))``: if ``//author`` and
+        ``//book/author`` expand to the same path set, the sequences of
+        *nodes* they select in any valid document are equal up to
+        duplicates and order."""
+        return self.expand_steps(steps1) == self.expand_steps(steps2)
+
+    def only_under(self, tag: str, parent: str) -> bool:
+        """True iff every occurrence of ``tag`` is directly beneath an
+        element named ``parent``."""
+        paths = self.paths_of_tag(tag)
+        if not paths:
+            return False
+        return all(len(p) >= 2 and p[-2] == parent for p in paths)
+
+    def has_exactly_one(self, parent: str, child: str) -> bool:
+        return self.dtd.has_exactly_one(parent, child)
+
+    def has_at_most_one(self, parent: str, child: str) -> bool:
+        return self.dtd.has_at_most_one(parent, child)

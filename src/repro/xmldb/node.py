@@ -1,0 +1,186 @@
+"""XML node model with document order.
+
+NAL (the paper's algebra) manipulates *node handles* pointing into documents
+stored in the database, rather than materialized trees.  Our :class:`Node` is
+that handle: a lightweight object carrying parent/children links and a
+``order_key`` that totally orders all nodes of one document in document order
+(pre-order).  Node identity is object identity; node equality in the algebra
+layer is *by identity*, while value comparison uses the string value
+(atomization), as in XQuery.
+
+Three node kinds are supported: elements, text nodes and attribute nodes.
+Attributes participate in document order right after their owner element
+(their exact rank relative to siblings never matters for the paper's
+queries, but a total order keeps sorting well-defined).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator
+
+
+class NodeKind(enum.Enum):
+    """Kind tag for :class:`Node`."""
+
+    ELEMENT = "element"
+    TEXT = "text"
+    ATTRIBUTE = "attribute"
+
+
+class Node:
+    """A node handle inside one XML document.
+
+    Parameters
+    ----------
+    kind:
+        One of :class:`NodeKind`.
+    name:
+        Element tag name or attribute name; ``None`` for text nodes.
+    text:
+        Text content for text nodes and attribute values; ``None`` for
+        elements (element string values are computed from descendants).
+    """
+
+    __slots__ = ("kind", "name", "text", "parent", "children", "attributes",
+                 "order_key", "document", "_strval")
+
+    def __init__(self, kind: NodeKind, name: str | None = None,
+                 text: str | None = None):
+        self.kind = kind
+        self.name = name
+        self.text = text
+        self.parent: Node | None = None
+        self.children: list[Node] = []
+        self.attributes: list[Node] = []
+        self.order_key: int = -1
+        # Back-reference to the owning Document; set when the tree is
+        # adopted by a Document.  Used for scan accounting.
+        self.document = None
+        # Cached string value for elements (trees are immutable once a
+        # document is registered, so caching is safe).
+        self._strval: str | None = None
+
+    # ------------------------------------------------------------------
+    # Tree construction
+    # ------------------------------------------------------------------
+    def append_child(self, child: Node) -> Node:
+        """Attach ``child`` as the last child of this element."""
+        if self.kind is not NodeKind.ELEMENT:
+            raise ValueError("only elements can have children")
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def set_attribute(self, name: str, value: str) -> Node:
+        """Attach an attribute node ``name="value"`` to this element."""
+        if self.kind is not NodeKind.ELEMENT:
+            raise ValueError("only elements can have attributes")
+        attr = Node(NodeKind.ATTRIBUTE, name=name, text=value)
+        attr.parent = self
+        self.attributes.append(attr)
+        return attr
+
+    # ------------------------------------------------------------------
+    # Navigation
+    # ------------------------------------------------------------------
+    def child_elements(self, name: str | None = None) -> list[Node]:
+        """Child elements, optionally filtered by tag name."""
+        result = [c for c in self.children if c.kind is NodeKind.ELEMENT]
+        if name is not None:
+            result = [c for c in result if c.name == name]
+        return result
+
+    def attribute(self, name: str) -> Node | None:
+        """The attribute node called ``name``, or ``None``."""
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        return None
+
+    def iter_descendants(self, include_self: bool = False) -> Iterator[Node]:
+        """Pre-order (document-order) iterator over descendant elements
+        and text nodes.  Attribute nodes are not yielded (XPath's
+        descendant axis excludes them)."""
+        if include_self:
+            yield self
+        for child in self.children:
+            yield child
+            if child.kind is NodeKind.ELEMENT:
+                yield from child.iter_descendants(include_self=False)
+
+    # ------------------------------------------------------------------
+    # Values
+    # ------------------------------------------------------------------
+    def string_value(self) -> str:
+        """XQuery string value: concatenation of all descendant text.
+
+        Cached for element nodes; document trees are immutable once
+        registered with a :class:`~repro.xmldb.document.DocumentStore`.
+        """
+        if self.kind is NodeKind.TEXT or self.kind is NodeKind.ATTRIBUTE:
+            return self.text or ""
+        if self._strval is None:
+            parts: list[str] = []
+            for node in self.iter_descendants():
+                if node.kind is NodeKind.TEXT:
+                    parts.append(node.text or "")
+            self._strval = "".join(parts)
+        return self._strval
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind is NodeKind.ELEMENT:
+            return f"<Node element {self.name!r} #{self.order_key}>"
+        if self.kind is NodeKind.ATTRIBUTE:
+            return f"<Node @{self.name}={self.text!r} #{self.order_key}>"
+        return f"<Node text {self.text!r} #{self.order_key}>"
+
+
+def assign_order_keys(root: Node, start: int = 0) -> int:
+    """Assign pre-order ``order_key`` values to the tree under ``root``.
+
+    Attributes are numbered immediately after their owner element, before
+    its children, which keeps document order total.  Returns the next free
+    key, so several trees can share one key space if desired.
+    """
+    counter = start
+
+    def visit(node: Node) -> None:
+        nonlocal counter
+        node.order_key = counter
+        counter += 1
+        for attr in node.attributes:
+            attr.order_key = counter
+            counter += 1
+        for child in node.children:
+            visit(child)
+
+    visit(root)
+    return counter
+
+
+def element(name: str, *children: Node | str, **attrs: str) -> Node:
+    """Convenience constructor used by tests and data generators.
+
+    String arguments become text children; keyword arguments become
+    attributes.  Example::
+
+        element("book", element("title", "TCP/IP"), year="1994")
+    """
+    node = Node(NodeKind.ELEMENT, name=name)
+    for key, value in attrs.items():
+        node.set_attribute(key, value)
+    for child in children:
+        if isinstance(child, str):
+            node.append_child(Node(NodeKind.TEXT, text=child))
+        else:
+            node.append_child(child)
+    return node
+
+
+def document_order(nodes: list[Node]) -> list[Node]:
+    """Return ``nodes`` sorted by document order (stable for equal keys)."""
+    return sorted(nodes, key=lambda n: n.order_key)

@@ -1,0 +1,273 @@
+"""A small, from-scratch, non-validating XML parser.
+
+The parser covers the XML subset the paper's documents use:
+
+- elements with attributes (single- or double-quoted values),
+- character data with the five predefined entities
+  (``&amp; &lt; &gt; &quot; &apos;``) and decimal/hex character references,
+- comments (``<!-- ... -->``), processing instructions, an XML declaration,
+  and an (ignored-for-structure) internal DOCTYPE — the DTD text is captured
+  so :mod:`repro.xmldb.dtd` can parse it,
+- CDATA sections.
+
+It intentionally does *not* implement namespaces or external entities; the
+use-case documents need neither.  Errors raise :class:`XMLParseError` with a
+character position.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XMLParseError
+from repro.xmldb.node import Node, NodeKind, assign_order_keys
+
+_PREDEFINED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyz"
+                  "ABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+
+
+class _Cursor:
+    """Character cursor over the XML source text."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self, n: int = 1) -> str:
+        return self.text[self.pos:self.pos + n]
+
+    def advance(self, n: int = 1) -> None:
+        self.pos += n
+
+    def expect(self, literal: str) -> None:
+        if not self.text.startswith(literal, self.pos):
+            raise XMLParseError(f"expected {literal!r}", self.pos)
+        self.pos += len(literal)
+
+    def skip_whitespace(self) -> None:
+        while not self.eof() and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def read_name(self) -> str:
+        start = self.pos
+        if self.eof() or self.text[self.pos] not in _NAME_START:
+            raise XMLParseError("expected a name", self.pos)
+        self.pos += 1
+        while not self.eof() and self.text[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        return self.text[start:self.pos]
+
+    def read_until(self, literal: str) -> str:
+        end = self.text.find(literal, self.pos)
+        if end < 0:
+            raise XMLParseError(f"unterminated construct, expected "
+                                f"{literal!r}", self.pos)
+        result = self.text[self.pos:end]
+        self.pos = end + len(literal)
+        return result
+
+
+def _decode_entities(raw: str, position: int) -> str:
+    """Replace entity and character references in ``raw``."""
+    if "&" not in raw:
+        return raw
+    out: list[str] = []
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = raw.find(";", i + 1)
+        if end < 0:
+            raise XMLParseError("unterminated entity reference",
+                                position + i)
+        name = raw[i + 1:end]
+        if name.startswith("#x") or name.startswith("#X"):
+            out.append(chr(int(name[2:], 16)))
+        elif name.startswith("#"):
+            out.append(chr(int(name[1:])))
+        elif name in _PREDEFINED_ENTITIES:
+            out.append(_PREDEFINED_ENTITIES[name])
+        else:
+            raise XMLParseError(f"unknown entity &{name};", position + i)
+        i = end + 1
+    return "".join(out)
+
+
+class ParseResult:
+    """Outcome of :func:`parse_document`: the root element plus the raw
+    internal-DTD text (if a DOCTYPE with an internal subset was present)."""
+
+    def __init__(self, root: Node, dtd_text: str | None):
+        self.root = root
+        self.dtd_text = dtd_text
+
+
+def parse_document(text: str) -> ParseResult:
+    """Parse an XML document and return its root element.
+
+    Document order keys are assigned before returning.  Raises
+    :class:`XMLParseError` on malformed input.
+    """
+    cursor = _Cursor(text)
+    dtd_text = _skip_prolog(cursor)
+    root = _parse_element(cursor)
+    cursor.skip_whitespace()
+    _skip_misc(cursor)
+    if not cursor.eof():
+        raise XMLParseError("content after document element", cursor.pos)
+    assign_order_keys(root)
+    return ParseResult(root, dtd_text)
+
+
+def _skip_misc(cursor: _Cursor) -> None:
+    """Skip trailing comments/PIs/whitespace after the root element."""
+    while not cursor.eof():
+        cursor.skip_whitespace()
+        if cursor.peek(4) == "<!--":
+            cursor.advance(4)
+            cursor.read_until("-->")
+        elif cursor.peek(2) == "<?":
+            cursor.advance(2)
+            cursor.read_until("?>")
+        else:
+            break
+
+
+def _skip_prolog(cursor: _Cursor) -> str | None:
+    """Skip the XML declaration, comments, PIs and DOCTYPE.
+
+    Returns the internal DTD subset text when a DOCTYPE with ``[...]`` is
+    present (the use-case documents inline their DTDs this way in the
+    paper's Fig. 5), otherwise ``None``.
+    """
+    dtd_text: str | None = None
+    while True:
+        cursor.skip_whitespace()
+        if cursor.peek(5) == "<?xml":
+            cursor.advance(5)
+            cursor.read_until("?>")
+        elif cursor.peek(4) == "<!--":
+            cursor.advance(4)
+            cursor.read_until("-->")
+        elif cursor.peek(2) == "<?":
+            cursor.advance(2)
+            cursor.read_until("?>")
+        elif cursor.peek(9) == "<!DOCTYPE":
+            dtd_text = _skip_doctype(cursor)
+        else:
+            return dtd_text
+
+
+def _skip_doctype(cursor: _Cursor) -> str | None:
+    cursor.expect("<!DOCTYPE")
+    depth = 0
+    internal_start: int | None = None
+    internal_text: str | None = None
+    while True:
+        if cursor.eof():
+            raise XMLParseError("unterminated DOCTYPE", cursor.pos)
+        ch = cursor.peek()
+        if ch == "[":
+            depth += 1
+            if depth == 1:
+                internal_start = cursor.pos + 1
+            cursor.advance()
+        elif ch == "]":
+            depth -= 1
+            if depth == 0 and internal_start is not None:
+                internal_text = cursor.text[internal_start:cursor.pos]
+            cursor.advance()
+        elif ch == ">" and depth == 0:
+            cursor.advance()
+            return internal_text
+        else:
+            cursor.advance()
+
+
+def _parse_element(cursor: _Cursor) -> Node:
+    cursor.expect("<")
+    name = cursor.read_name()
+    node = Node(NodeKind.ELEMENT, name=name)
+    # Attributes
+    while True:
+        cursor.skip_whitespace()
+        if cursor.peek(2) == "/>":
+            cursor.advance(2)
+            return node
+        if cursor.peek() == ">":
+            cursor.advance()
+            break
+        attr_name = cursor.read_name()
+        cursor.skip_whitespace()
+        cursor.expect("=")
+        cursor.skip_whitespace()
+        quote = cursor.peek()
+        if quote not in ("'", '"'):
+            raise XMLParseError("attribute value must be quoted", cursor.pos)
+        cursor.advance()
+        start = cursor.pos
+        raw = cursor.read_until(quote)
+        node.set_attribute(attr_name, _decode_entities(raw, start))
+    # Content
+    _parse_content(cursor, node)
+    cursor.expect("</")
+    end_name = cursor.read_name()
+    if end_name != name:
+        raise XMLParseError(
+            f"mismatched end tag </{end_name}> for <{name}>", cursor.pos)
+    cursor.skip_whitespace()
+    cursor.expect(">")
+    return node
+
+
+def _parse_content(cursor: _Cursor, parent: Node) -> None:
+    text_start = cursor.pos
+    buffer: list[str] = []
+
+    def flush_text() -> None:
+        if buffer:
+            text = _decode_entities("".join(buffer), text_start)
+            if text:
+                parent.append_child(Node(NodeKind.TEXT, text=text))
+            buffer.clear()
+
+    while True:
+        if cursor.eof():
+            raise XMLParseError(f"unterminated element <{parent.name}>",
+                                cursor.pos)
+        if cursor.peek(2) == "</":
+            flush_text()
+            return
+        if cursor.peek(4) == "<!--":
+            flush_text()
+            cursor.advance(4)
+            cursor.read_until("-->")
+        elif cursor.peek(9) == "<![CDATA[":
+            cursor.advance(9)
+            raw = cursor.read_until("]]>")
+            if raw:
+                flush_text()
+                parent.append_child(Node(NodeKind.TEXT, text=raw))
+        elif cursor.peek(2) == "<?":
+            flush_text()
+            cursor.advance(2)
+            cursor.read_until("?>")
+        elif cursor.peek() == "<":
+            flush_text()
+            parent.append_child(_parse_element(cursor))
+        else:
+            buffer.append(cursor.peek())
+            cursor.advance()

@@ -1,0 +1,65 @@
+"""Serialization of the node model back to XML text."""
+
+from __future__ import annotations
+
+from repro.xmldb.node import Node, NodeKind
+
+
+def _escape_text(text: str) -> str:
+    return (text.replace("&", "&amp;")
+                .replace("<", "&lt;")
+                .replace(">", "&gt;"))
+
+
+def _escape_attr(text: str) -> str:
+    return _escape_text(text).replace('"', "&quot;")
+
+
+def serialize(node: Node, indent: int | None = None) -> str:
+    """Serialize ``node`` (and its subtree) to XML text.
+
+    With ``indent=None`` (the default) the output is compact and
+    round-trips exactly through :func:`repro.xmldb.parser.parse_document`
+    for documents without mixed content.  With an integer ``indent``,
+    element-only content is pretty-printed.
+    """
+    parts: list[str] = []
+    _serialize_into(node, parts, indent, 0)
+    return "".join(parts)
+
+
+def _has_element_children(node: Node) -> bool:
+    return any(c.kind is NodeKind.ELEMENT for c in node.children)
+
+
+def _serialize_into(node: Node, parts: list[str], indent: int | None,
+                    depth: int) -> None:
+    pad = "" if indent is None else " " * (indent * depth)
+    newline = "" if indent is None else "\n"
+    if node.kind is NodeKind.TEXT:
+        parts.append(_escape_text(node.text or ""))
+        return
+    if node.kind is NodeKind.ATTRIBUTE:
+        parts.append(f'{node.name}="{_escape_attr(node.text or "")}"')
+        return
+    parts.append(f"{pad}<{node.name}")
+    for attr in node.attributes:
+        parts.append(f' {attr.name}="{_escape_attr(attr.text or "")}"')
+    if not node.children:
+        parts.append(f"/>{newline}")
+        return
+    parts.append(">")
+    pretty_children = indent is not None and _has_element_children(node)
+    if pretty_children:
+        parts.append("\n")
+        for child in node.children:
+            if child.kind is NodeKind.TEXT and not (child.text or "").strip():
+                continue
+            _serialize_into(child, parts, indent, depth + 1)
+            if child.kind is NodeKind.TEXT:
+                parts.append("\n")
+        parts.append(pad)
+    else:
+        for child in node.children:
+            _serialize_into(child, parts, None, 0)
+    parts.append(f"</{node.name}>{newline}")

@@ -1,0 +1,33 @@
+"""XPath subset: location paths with child/descendant/attribute axes.
+
+The paper treats XPath evaluation as orthogonal (it cites [19, 20, 23] and
+takes path expressions "as they are"), so this subpackage implements exactly
+the fragment the use-case queries need, with document-order results and
+per-document scan accounting that the benchmarks report.
+"""
+
+from repro.xpath.ast import (
+    AnyTest,
+    ComparisonPredicate,
+    NameTest,
+    OpaquePredicate,
+    Path,
+    PathPredicate,
+    Step,
+    TextTest,
+)
+from repro.xpath.parser import parse_path
+from repro.xpath.evaluator import evaluate_path
+
+__all__ = [
+    "AnyTest",
+    "ComparisonPredicate",
+    "NameTest",
+    "OpaquePredicate",
+    "Path",
+    "PathPredicate",
+    "Step",
+    "TextTest",
+    "parse_path",
+    "evaluate_path",
+]

@@ -1,0 +1,154 @@
+"""XPath evaluation over the node model.
+
+Results follow XPath node-set semantics: duplicate-free (by node identity)
+and in document order.  The evaluator charges scan statistics to the owning
+:class:`~repro.xmldb.document.DocumentStore`:
+
+- a ``descendant`` step evaluated from a document root counts as one *scan*
+  of that document (this is what a nested query plan repeats once per outer
+  tuple, and what the unnested plans do O(1) times);
+- every node touched counts as a node visit.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XPathError
+from repro.xmldb.node import Node, NodeKind
+from repro.xpath.ast import (
+    AnyTest,
+    ComparisonPredicate,
+    NameTest,
+    OpaquePredicate,
+    Path,
+    PathPredicate,
+    Step,
+    TextTest,
+)
+
+
+def evaluate_path(context: Node | list[Node], path: Path,
+                  stats=None) -> list[Node]:
+    """Evaluate ``path`` from one node or a sequence of context nodes.
+
+    ``stats`` is a :class:`~repro.xmldb.document.ScanStats` (or anything
+    with ``record_scan``/``record_visits``); pass ``None`` to skip
+    accounting.
+    """
+    nodes = [context] if isinstance(context, Node) else list(context)
+    for step in path.steps:
+        nodes = _apply_step(nodes, step, stats)
+    return _document_order_dedup(nodes)
+
+
+def _apply_step(context: list[Node], step: Step, stats) -> list[Node]:
+    output: list[Node] = []
+    for node in context:
+        output.extend(_step_from(node, step, stats))
+    if step.predicates:
+        output = [n for n in output
+                  if all(_check_predicate(n, p, stats)
+                         for p in step.predicates)]
+    return output
+
+
+def _step_from(node: Node, step: Step, stats) -> list[Node]:
+    if step.axis == "self":
+        return [node] if _matches(node, step) else []
+    if step.axis == "attribute":
+        return _attribute_step(node, step)
+    if step.axis == "child":
+        if stats is not None:
+            stats.record_visits(len(node.children))
+            if node.parent is None and node.document is not None:
+                # Iterating the root's children (e.g. `$d/book` over a
+                # flat document) reads the whole document once.
+                stats.record_scan(node.document.name)
+        return [c for c in node.children if _matches(c, step)]
+    if step.axis == "descendant":
+        if stats is not None and node.parent is None \
+                and node.document is not None:
+            # A descendant walk from the document root is a full scan.
+            stats.record_scan(node.document.name)
+        result = []
+        count = 0
+        for candidate in node.iter_descendants():
+            count += 1
+            if _matches(candidate, step):
+                result.append(candidate)
+        if stats is not None:
+            stats.record_visits(count)
+        return result
+    raise XPathError(f"unsupported axis {step.axis!r}")
+
+
+def _attribute_step(node: Node, step: Step) -> list[Node]:
+    if node.kind is not NodeKind.ELEMENT:
+        return []
+    if isinstance(step.test, NameTest):
+        attr = node.attribute(step.test.name)
+        return [attr] if attr is not None else []
+    if isinstance(step.test, AnyTest):
+        return list(node.attributes)
+    return []
+
+
+def _matches(node: Node, step: Step) -> bool:
+    test = step.test
+    if isinstance(test, NameTest):
+        return node.kind is NodeKind.ELEMENT and node.name == test.name
+    if isinstance(test, AnyTest):
+        return node.kind is NodeKind.ELEMENT
+    if isinstance(test, TextTest):
+        return node.kind is NodeKind.TEXT
+    raise XPathError(f"unsupported node test {test!r}")
+
+
+def _check_predicate(node: Node, predicate, stats) -> bool:
+    if isinstance(predicate, PathPredicate):
+        return bool(evaluate_path(node, predicate.path, stats))
+    if isinstance(predicate, ComparisonPredicate):
+        selected = evaluate_path(node, predicate.path, stats)
+        # XPath general comparison: existential over the node set.
+        return any(_compare_value(n, predicate.op, predicate.value)
+                   for n in selected)
+    if isinstance(predicate, OpaquePredicate):
+        raise XPathError(
+            "opaque predicate reached the XPath evaluator; the query "
+            "normalizer should have lifted it into a where clause: "
+            f"{predicate}")
+    raise XPathError(f"unsupported predicate {predicate!r}")
+
+
+def _compare_value(node: Node, op: str, value) -> bool:
+    text = node.string_value()
+    if isinstance(value, (int, float)):
+        try:
+            left: float | str = float(text)
+        except ValueError:
+            return False
+        right: float | str = float(value)
+    else:
+        left, right = text, str(value)
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise XPathError(f"unsupported comparison operator {op!r}")
+
+
+def _document_order_dedup(nodes: list[Node]) -> list[Node]:
+    seen: set[int] = set()
+    unique: list[Node] = []
+    for node in nodes:
+        if id(node) not in seen:
+            seen.add(id(node))
+            unique.append(node)
+    return sorted(unique, key=lambda n: (id(n.document), n.order_key))

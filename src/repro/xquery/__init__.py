@@ -1,0 +1,57 @@
+"""XQuery front end: parser, normalizer and translation into NAL.
+
+The pipeline mirrors Section 3 of the paper:
+
+1. :mod:`repro.xquery.parser` parses the XQuery subset (FLWR expressions,
+   quantifiers, element constructors, path expressions, function calls);
+2. :mod:`repro.xquery.normalize` applies the dependency-based rewriting:
+   nested query blocks move into ``let`` clauses, quantifier ranges become
+   FLWR expressions, XPath predicates move into ``where`` clauses, common
+   subexpressions (notably ``doc()`` calls) are factorized and complex
+   expressions are broken up with fresh variables;
+3. :mod:`repro.xquery.translate` implements the mutually recursive T
+   functions of Fig. 3, producing a NAL plan whose nested query blocks are
+   nested algebraic expressions — the input to the unnesting optimizer.
+"""
+
+from repro.xquery.ast import (
+    BoolOp,
+    Comparison,
+    ContextItem,
+    DocCall,
+    ElementCtor,
+    ExprPart,
+    FLWR,
+    ForClause,
+    FuncCall,
+    LetClause,
+    Literal,
+    PathExpr,
+    Quantified,
+    TextPart,
+    VarRef,
+)
+from repro.xquery.parser import parse_xquery
+from repro.xquery.normalize import normalize
+from repro.xquery.translate import translate
+
+__all__ = [
+    "BoolOp",
+    "Comparison",
+    "ContextItem",
+    "DocCall",
+    "ElementCtor",
+    "ExprPart",
+    "FLWR",
+    "ForClause",
+    "FuncCall",
+    "LetClause",
+    "Literal",
+    "PathExpr",
+    "Quantified",
+    "TextPart",
+    "VarRef",
+    "parse_xquery",
+    "normalize",
+    "translate",
+]

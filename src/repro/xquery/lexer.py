@@ -1,0 +1,141 @@
+"""Low-level scanner for the XQuery parser.
+
+XQuery keywords are contextual and element constructors switch the lexer
+into raw-text mode, so the parser drives a character cursor directly
+instead of consuming a pre-tokenized stream.  This module provides that
+cursor with position tracking for error messages and support for XQuery
+comments ``(: ... :)``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XQueryParseError
+
+NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+NAME_CHARS = NAME_START | set("0123456789-.")
+
+
+class Scanner:
+    """Character cursor with line/column tracking."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    def error(self, message: str) -> XQueryParseError:
+        line = self.text.count("\n", 0, self.pos) + 1
+        last_newline = self.text.rfind("\n", 0, self.pos)
+        column = self.pos - last_newline
+        return XQueryParseError(message, line=line, column=column)
+
+    # ------------------------------------------------------------------
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self, n: int = 1) -> str:
+        return self.text[self.pos:self.pos + n]
+
+    def advance(self, n: int = 1) -> None:
+        self.pos += n
+
+    def skip_ws(self) -> None:
+        """Skip whitespace and ``(: ... :)`` comments (nestable)."""
+        while not self.eof():
+            ch = self.text[self.pos]
+            if ch in " \t\r\n":
+                self.pos += 1
+            elif self.peek(2) == "(:":
+                depth = 0
+                while not self.eof():
+                    if self.peek(2) == "(:":
+                        depth += 1
+                        self.pos += 2
+                    elif self.peek(2) == ":)":
+                        depth -= 1
+                        self.pos += 2
+                        if depth == 0:
+                            break
+                    else:
+                        self.pos += 1
+                if depth != 0:
+                    raise self.error("unterminated comment")
+            else:
+                return
+
+    # ------------------------------------------------------------------
+    def take(self, literal: str) -> bool:
+        """Consume ``literal`` if it is next (no word-boundary check)."""
+        if self.text.startswith(literal, self.pos):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def expect(self, literal: str) -> None:
+        if not self.take(literal):
+            raise self.error(
+                f"expected {literal!r}, found "
+                f"{self.text[self.pos:self.pos + 12]!r}")
+
+    def peek_keyword(self, word: str) -> bool:
+        """True if ``word`` is next as a whole word (after whitespace)."""
+        self.skip_ws()
+        end = self.pos + len(word)
+        if not self.text.startswith(word, self.pos):
+            return False
+        if end < len(self.text) and self.text[end] in NAME_CHARS:
+            return False
+        return True
+
+    def take_keyword(self, word: str) -> bool:
+        if self.peek_keyword(word):
+            self.pos += len(word)
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.take_keyword(word):
+            raise self.error(
+                f"expected keyword {word!r}, found "
+                f"{self.text[self.pos:self.pos + 12]!r}")
+
+    # ------------------------------------------------------------------
+    def read_name(self) -> str:
+        self.skip_ws()
+        start = self.pos
+        if self.eof() or self.text[self.pos] not in NAME_START:
+            raise self.error("expected a name")
+        self.pos += 1
+        while not self.eof() and self.text[self.pos] in NAME_CHARS:
+            self.pos += 1
+        return self.text[start:self.pos]
+
+    def read_variable(self) -> str:
+        self.skip_ws()
+        self.expect("$")
+        return self.read_name()
+
+    def read_string(self) -> str:
+        self.skip_ws()
+        quote = self.peek()
+        if quote not in ("'", '"'):
+            raise self.error("expected a string literal")
+        self.advance()
+        end = self.text.find(quote, self.pos)
+        if end < 0:
+            raise self.error("unterminated string literal")
+        value = self.text[self.pos:end]
+        self.pos = end + 1
+        return value
+
+    def read_number(self):
+        self.skip_ws()
+        start = self.pos
+        while (not self.eof()
+               and (self.text[self.pos].isdigit()
+                    or self.text[self.pos] == ".")):
+            self.pos += 1
+        raw = self.text[start:self.pos]
+        if not raw:
+            raise self.error("expected a number")
+        return float(raw) if "." in raw else int(raw)

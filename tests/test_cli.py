@@ -1,0 +1,124 @@
+"""Tests for the ``python -m repro`` command line interface."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.__main__ import main
+from repro.datagen import BIB_DTD, generate_bib
+from repro.xmldb.serialize import serialize
+
+QUERY = '''
+let $d1 := doc("bib.xml")
+for $a1 in distinct-values($d1//author)
+return
+  <author><name> { $a1 } </name>
+  { let $d2 := doc("bib.xml")
+    for $b2 in $d2/book[$a1 = author]
+    return $b2/title }
+  </author>
+'''
+
+
+@pytest.fixture
+def data_dir(tmp_path: pathlib.Path) -> pathlib.Path:
+    (tmp_path / "bib.xml").write_text(
+        serialize(generate_bib(6, 2, seed=4)))
+    (tmp_path / "bib.dtd").write_text(BIB_DTD)
+    return tmp_path
+
+
+@pytest.fixture
+def query_file(tmp_path: pathlib.Path) -> pathlib.Path:
+    path = tmp_path / "query.xq"
+    path.write_text(QUERY)
+    return path
+
+
+def test_run_query_file(data_dir, query_file, capsys):
+    code = main([str(query_file), "--docs", str(data_dir)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "<author>" in out and "<title>" in out
+
+
+def test_inline_query(data_dir, capsys):
+    code = main(["--query",
+                 'for $t in doc("bib.xml")//title return $t',
+                 "--docs", str(data_dir)])
+    assert code == 0
+    assert "<title>" in capsys.readouterr().out
+
+
+def test_doc_flag_registers_named_document(data_dir, capsys):
+    code = main(["--query",
+                 'for $t in doc("books.xml")//title return $t',
+                 "--doc", f"books.xml={data_dir / 'bib.xml'}"])
+    assert code == 0
+    assert "<title>" in capsys.readouterr().out
+
+
+def test_explain_lists_alternatives(data_dir, query_file, capsys):
+    code = main([str(query_file), "--docs", str(data_dir), "--explain"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "alternatives" in out
+    assert "nested" in out
+    assert "Ξ" in out
+
+
+def test_plan_selection_and_stats(data_dir, query_file, capsys):
+    code = main([str(query_file), "--docs", str(data_dir),
+                 "--plan", "nested", "--stats"])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "document scans" in captured.err
+    assert "plan: nested" in captured.err
+
+
+def test_cost_ranking_flag(data_dir, query_file, capsys):
+    code = main([str(query_file), "--docs", str(data_dir),
+                 "--ranking", "cost", "--explain"])
+    assert code == 0
+    assert "cost≈" in capsys.readouterr().out
+
+
+def test_reference_mode(data_dir, query_file, capsys):
+    code = main([str(query_file), "--docs", str(data_dir),
+                 "--mode", "reference"])
+    assert code == 0
+    assert "<author>" in capsys.readouterr().out
+
+
+def test_unknown_plan_label_fails_cleanly(data_dir, query_file, capsys):
+    code = main([str(query_file), "--docs", str(data_dir),
+                 "--plan", "hashjoin"])
+    assert code == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_parse_error_fails_cleanly(data_dir, capsys):
+    code = main(["--query", "for $x in", "--docs", str(data_dir)])
+    assert code == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_bad_doc_spec_rejected(data_dir):
+    with pytest.raises(SystemExit):
+        main(["--query", "for $x in doc('a')//b return $x",
+              "--doc", "no-equals-sign"])
+
+
+def test_missing_query_rejected():
+    with pytest.raises(SystemExit):
+        main(["--docs", "."])
+
+
+def test_warns_without_documents(tmp_path, capsys):
+    query = tmp_path / "q.xq"
+    query.write_text('for $x in doc("a.xml")//b return $x')
+    code = main([str(query), "--explain"])
+    assert code == 0  # explain works without documents
+    assert "no documents" in capsys.readouterr().err

@@ -1,0 +1,148 @@
+"""DTD parsing and occurrence reasoning."""
+
+import pytest
+
+from repro.datagen import BIB_DTD, BIDS_DTD, DBLP_DTD
+from repro.errors import DTDParseError
+from repro.xmldb.dtd import SchemaInfo, parse_dtd
+
+
+@pytest.fixture
+def bib():
+    return parse_dtd(BIB_DTD)
+
+
+def test_elements_parsed(bib):
+    assert "bib" in bib.elements
+    assert "book" in bib.elements
+    assert bib.first_element == "bib"
+
+
+def test_attlist_parsed(bib):
+    assert "year" in bib.attributes["book"]
+    assert bib.attributes["book"]["year"].default == "#REQUIRED"
+
+
+def test_child_tags(bib):
+    assert bib.child_tags("book") == {"title", "author", "editor",
+                                      "publisher", "price"}
+
+
+def test_exactly_one_title_per_book(bib):
+    assert bib.has_exactly_one("book", "title")
+    assert bib.has_exactly_one("book", "publisher")
+
+
+def test_author_repetition(bib):
+    low, high = bib.child_occurrence("book", "author")
+    assert low == 0  # the editor branch has no authors
+    assert high is None  # author+ is unbounded
+
+
+def test_optional_child():
+    dtd = parse_dtd("<!ELEMENT a (b?)>\n<!ELEMENT b (#PCDATA)>")
+    assert dtd.child_occurrence("a", "b") == (0, 1)
+    assert dtd.has_at_most_one("a", "b")
+    assert not dtd.has_exactly_one("a", "b")
+
+
+def test_star_child():
+    dtd = parse_dtd("<!ELEMENT a (b*)>\n<!ELEMENT b (#PCDATA)>")
+    assert dtd.child_occurrence("a", "b") == (0, None)
+
+
+def test_sequence_counts_add():
+    dtd = parse_dtd("<!ELEMENT a (b, c, b)>\n<!ELEMENT b (#PCDATA)>\n"
+                    "<!ELEMENT c (#PCDATA)>")
+    assert dtd.child_occurrence("a", "b") == (2, 2)
+
+
+def test_choice_counts_min_max():
+    dtd = parse_dtd("<!ELEMENT a (b | (b, b))>\n<!ELEMENT b (#PCDATA)>")
+    assert dtd.child_occurrence("a", "b") == (1, 2)
+
+
+def test_empty_and_any():
+    dtd = parse_dtd("<!ELEMENT a EMPTY>\n<!ELEMENT b ANY>")
+    assert dtd.child_tags("a") == set()
+
+
+def test_comments_in_dtd_skipped():
+    dtd = parse_dtd("<!-- c --><!ELEMENT a (b*)><!ELEMENT b (#PCDATA)>")
+    assert "a" in dtd.elements
+
+
+def test_malformed_dtd_rejected():
+    with pytest.raises(DTDParseError):
+        parse_dtd("<!ELEMENT broken")
+    with pytest.raises(DTDParseError):
+        parse_dtd("<!WHAT a (b)>")
+    with pytest.raises(DTDParseError):
+        parse_dtd("<!ELEMENT a (b,|c)>")
+
+
+def test_mixed_separators_rejected():
+    with pytest.raises(DTDParseError):
+        parse_dtd("<!ELEMENT a (b, c | d)>")
+
+
+# ----------------------------------------------------------------------
+# SchemaInfo
+# ----------------------------------------------------------------------
+def test_paths_of_tag_bib():
+    schema = SchemaInfo(parse_dtd(BIB_DTD))
+    assert schema.paths_of_tag("author") == {("bib", "book", "author")}
+
+
+def test_author_only_under_book():
+    schema = SchemaInfo(parse_dtd(BIB_DTD))
+    assert schema.only_under("author", "book")
+    assert not schema.only_under("last", "book")
+
+
+def test_dblp_author_not_only_under_book():
+    schema = SchemaInfo(parse_dtd(DBLP_DTD))
+    assert not schema.only_under("author", "book")
+    paths = schema.paths_of_tag("author")
+    assert ("dblp", "book", "author") in paths
+    assert ("dblp", "article", "author") in paths
+
+
+def test_same_node_set_bib():
+    schema = SchemaInfo(parse_dtd(BIB_DTD))
+    assert schema.same_node_set([("descendant", "author")],
+                                [("descendant", "book"),
+                                 ("child", "author")])
+
+
+def test_same_node_set_fails_for_dblp():
+    schema = SchemaInfo(parse_dtd(DBLP_DTD))
+    assert not schema.same_node_set([("descendant", "author")],
+                                    [("descendant", "book"),
+                                     ("child", "author")])
+
+
+def test_expand_from_root_child_steps():
+    schema = SchemaInfo(parse_dtd(BIB_DTD))
+    paths = schema.expand_from_root([("child", "book"),
+                                     ("child", "title")])
+    assert paths == {("bib", "book", "title")}
+
+
+def test_expand_attribute_pseudo_step():
+    schema = SchemaInfo(parse_dtd(BIB_DTD))
+    paths = schema.expand_from_root([("descendant", "book"),
+                                     ("attribute", "year")])
+    assert paths == {("bib", "book", "@year")}
+
+
+def test_bids_itemno_equivalence():
+    schema = SchemaInfo(parse_dtd(BIDS_DTD))
+    assert schema.same_node_set(
+        [("descendant", "itemno")],
+        [("descendant", "bidtuple"), ("child", "itemno")])
+
+
+def test_empty_dtd_rejected():
+    with pytest.raises(DTDParseError):
+        SchemaInfo(parse_dtd("<!-- nothing -->"))

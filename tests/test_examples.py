@@ -1,0 +1,59 @@
+"""Smoke tests: every example in examples/ runs to completion and
+prints what its docstring promises."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    script = EXAMPLES / name
+    assert script.exists(), f"missing example {name}"
+    proc = subprocess.run([sys.executable, str(script)],
+                          capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "plan alternatives" in out
+    assert "group-xi" in out
+    assert "<author>" in out
+    assert "'bib.xml': 1" in out  # best plan scans once
+
+
+def test_auction_analytics():
+    out = run_example("auction_analytics.py")
+    assert "popular items" in out
+    assert "semijoin" in out and "antijoin" in out
+    assert "scans=1" in out
+
+
+def test_time_series_trades():
+    out = run_example("time_series_trades.py")
+    assert "verified" in out
+    assert "every tape in time order" in out
+
+
+def test_price_report():
+    out = run_example("price_report.py")
+    assert "cost-ranked" in out
+    assert "EXPLAIN ANALYZE" in out
+    assert "chosen plan 1" in out
+
+
+@pytest.mark.slow
+def test_optimizer_tour():
+    out = run_example("optimizer_tour.py")
+    assert out.count("chosen plan") == 7
+    # the DBLP case must not offer the grouping plan
+    dblp_block = out.split("Paparizos")[1].split("---")[0]
+    assert "grouping" not in dblp_block.split("alternatives:")[1] \
+        .splitlines()[0]

@@ -1,0 +1,203 @@
+"""The XQuery function library."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.nal.functions import call_function
+from repro.nal.values import NULL, Tup
+from repro.xmldb.node import element
+
+
+def test_count():
+    assert call_function("count", [[1, 2, 3]]) == 3
+    assert call_function("count", [[]]) == 0
+    assert call_function("count", [5]) == 1
+
+
+def test_sum_and_empty_sum():
+    assert call_function("sum", [["1", "2.5"]]) == 3.5
+    assert call_function("sum", [[]]) == 0
+
+
+def test_min_max_numeric():
+    assert call_function("min", [["10", "9", "30"]]) == 9
+    assert call_function("max", [["10", "9", "30"]]) == 30
+
+
+def test_min_on_strings_falls_back_lexicographic():
+    assert call_function("min", [["b", "a"]]) == "a"
+
+
+def test_min_empty_is_null():
+    assert call_function("min", [[]]) is NULL
+    assert call_function("avg", [[]]) is NULL
+
+
+def test_avg():
+    assert call_function("avg", [[1, 2, 3]]) == 2
+
+
+def test_aggregates_atomize_nodes():
+    nodes = [element("p", "10.5"), element("p", "9.5")]
+    assert call_function("min", [nodes]) == 9.5
+
+
+def test_aggregate_over_single_attr_tuples():
+    rows = [Tup({"c": "3"}), Tup({"c": "1"})]
+    assert call_function("min", [rows]) == 1
+
+
+def test_empty_exists():
+    assert call_function("empty", [[]])
+    assert not call_function("empty", [[1]])
+    assert call_function("exists", [[1]])
+    assert not call_function("exists", [[]])
+
+
+def test_not_boolean():
+    assert call_function("not", [[]])
+    assert not call_function("not", [[1]])
+    assert call_function("boolean", ["x"])
+
+
+def test_decimal():
+    assert call_function("decimal", [element("p", "65.95")]) == 65.95
+    assert call_function("decimal", [["42"]]) == 42.0
+    with pytest.raises(EvaluationError):
+        call_function("decimal", [[]])
+    with pytest.raises(EvaluationError):
+        call_function("decimal", [["not-a-number"]])
+
+
+def test_string():
+    assert call_function("string", [element("t", "x")]) == "x"
+    assert call_function("string", [[]]) == ""
+    assert call_function("string", [42]) == "42"
+
+
+def test_contains():
+    assert call_function("contains", [element("a", "Dan Suciu"), "Suciu"])
+    assert not call_function("contains", [["abc"], "z"])
+    assert not call_function("contains", [[], "z"])
+    with pytest.raises(EvaluationError):
+        call_function("contains", [["a"]])
+
+
+def test_starts_with():
+    assert call_function("starts-with", ["hello", "he"])
+    assert not call_function("starts-with", ["hello", "lo"])
+
+
+def test_concat_and_length():
+    assert call_function("concat", ["a", element("b", "c"), 1]) == "ac1"
+    assert call_function("string-length", ["abcd"]) == 4
+
+
+def test_distinct_values_first_occurrence_order():
+    values = ["b", "a", "b", "c", "a"]
+    assert call_function("distinct-values", [values]) == ["b", "a", "c"]
+
+
+def test_distinct_values_atomizes_and_coerces():
+    values = [element("x", "1"), "1", "2"]
+    assert call_function("distinct-values", [values]) == ["1", "2"]
+
+
+def test_distinct_values_idempotent():
+    values = ["b", "a", "b"]
+    once = call_function("distinct-values", [values])
+    assert call_function("distinct-values", [once]) == once
+
+
+def test_name_and_data():
+    node = element("title", "T")
+    assert call_function("name", [node]) == "title"
+    assert call_function("data", [[node, "x"]]) == ["T", "x"]
+
+
+def test_zero_or_one():
+    assert call_function("zero-or-one", [["a"]]) == "a"
+    assert call_function("zero-or-one", [[]]) is NULL
+    with pytest.raises(EvaluationError):
+        call_function("zero-or-one", [[1, 2]])
+
+
+def test_unknown_function():
+    with pytest.raises(EvaluationError, match="unknown function"):
+        call_function("frobnicate", [[]])
+
+
+def test_true_false():
+    assert call_function("true", []) is True
+    assert call_function("false", []) is False
+
+
+# ---------------------------------------------------------------------------
+# Extended string/number library (beyond the paper's queries)
+# ---------------------------------------------------------------------------
+
+def test_ends_with():
+    assert call_function("ends-with", ["database", "base"]) is True
+    assert call_function("ends-with", ["database", "data"]) is False
+    assert call_function("ends-with", [[], "x"]) is False
+
+
+def test_substring_two_args():
+    assert call_function("substring", ["motor car", 6]) == " car"
+
+
+def test_substring_three_args():
+    assert call_function("substring", ["metadata", 4, 3]) == "ada"
+
+
+def test_substring_start_before_string():
+    assert call_function("substring", ["abcde", 0, 3]) == "ab"
+
+
+def test_substring_wrong_arity():
+    with pytest.raises(EvaluationError):
+        call_function("substring", ["abc"])
+
+
+def test_substring_before_after():
+    assert call_function("substring-before", ["a=b", "="]) == "a"
+    assert call_function("substring-after", ["a=b", "="]) == "b"
+    assert call_function("substring-before", ["ab", "="]) == ""
+    assert call_function("substring-after", ["ab", "="]) == ""
+
+
+def test_case_functions():
+    assert call_function("upper-case", ["MiXeD"]) == "MIXED"
+    assert call_function("lower-case", ["MiXeD"]) == "mixed"
+
+
+def test_normalize_space():
+    assert call_function("normalize-space", ["  a \t b\n c "]) == "a b c"
+
+
+def test_string_join():
+    assert call_function("string-join", [["a", "b", "c"], "-"]) == "a-b-c"
+    assert call_function("string-join", [[], "-"]) == ""
+
+
+def test_string_join_atomizes_nodes():
+    nodes = [element("x", "1"), element("x", "2")]
+    assert call_function("string-join", [nodes, ","]) == "1,2"
+
+
+def test_abs():
+    assert call_function("abs", [-3.5]) == 3.5
+    assert call_function("abs", ["4"]) == 4.0
+
+
+def test_round_half_away_from_zero():
+    assert call_function("round", [2.5]) == 3
+    assert call_function("round", [-2.5]) == -3
+    assert call_function("round", [2.4]) == 2
+
+
+def test_floor_ceiling():
+    assert call_function("floor", [2.7]) == 2.0
+    assert call_function("ceiling", [2.1]) == 3.0
+    assert call_function("floor", [-2.1]) == -3.0
+    assert call_function("ceiling", [-2.1]) == -2.0

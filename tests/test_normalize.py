@@ -1,0 +1,202 @@
+"""Normalization passes against the paper's worked §5 rewrites."""
+
+import pytest
+
+from repro.bench.queries import (
+    Q1_GROUPING,
+    Q2_AGGREGATION,
+    Q3_EXISTS,
+    Q4_EXISTS2,
+    Q5_FORALL,
+    Q6_HAVING,
+)
+from repro.errors import TranslationError
+from repro.xquery import ast
+from repro.xquery.normalize import normalize, substitute_var
+from repro.xquery.parser import parse_xquery
+
+
+def norm(text: str) -> ast.FLWR:
+    return normalize(parse_xquery(text))
+
+
+def lets(flwr):
+    return [c for c in flwr.clauses if isinstance(c, ast.LetClause)]
+
+
+def fors(flwr):
+    return [c for c in flwr.clauses if isinstance(c, ast.ForClause)]
+
+
+# ----------------------------------------------------------------------
+# Q1: nested FLWR moves from return into a let; predicate lifted
+# ----------------------------------------------------------------------
+def test_q1_inner_block_becomes_let():
+    flwr = norm(Q1_GROUPING)
+    inner_lets = [c for c in lets(flwr) if isinstance(c.expr, ast.FLWR)]
+    assert len(inner_lets) == 1
+    inner = inner_lets[0].expr
+    # the return constructor now references the let variable
+    assert any(isinstance(p, ast.ExprPart)
+               and p.expr == ast.VarRef(inner_lets[0].var)
+               for p in flwr.ret.content)
+    # predicate [$a1 = author] was lifted into the inner where
+    assert inner.where is not None
+    # the inner for-clause path no longer carries predicates
+    for clause in fors(inner):
+        assert not clause.source.path.has_predicates()
+
+
+def test_q1_inner_where_references_variables_only():
+    flwr = norm(Q1_GROUPING)
+    inner = next(c.expr for c in lets(flwr)
+                 if isinstance(c.expr, ast.FLWR))
+    where = inner.where
+    assert isinstance(where, ast.Comparison)
+    assert isinstance(where.left, ast.VarRef)
+    assert isinstance(where.right, ast.VarRef)
+
+
+def test_q1_inner_returns_variable():
+    flwr = norm(Q1_GROUPING)
+    inner = next(c.expr for c in lets(flwr)
+                 if isinstance(c.expr, ast.FLWR))
+    assert isinstance(inner.ret, ast.VarRef)
+
+
+# ----------------------------------------------------------------------
+# Q2: aggregate fusion (`let $m1 := min(<nested>)`) + for-split
+# ----------------------------------------------------------------------
+def test_q2_aggregate_fused_into_let():
+    flwr = norm(Q2_AGGREGATION)
+    agg_lets = [c for c in lets(flwr)
+                if isinstance(c.expr, ast.FuncCall)
+                and c.expr.name == "min"]
+    assert len(agg_lets) == 1
+    assert isinstance(agg_lets[0].expr.args[0], ast.FLWR)
+    # the original `let $p1` is gone
+    assert not any(c.var == "p1" for c in lets(flwr))
+
+
+def test_q2_inner_for_split_at_predicated_step():
+    flwr = norm(Q2_AGGREGATION)
+    inner = next(c.expr.args[0] for c in lets(flwr)
+                 if isinstance(c.expr, ast.FuncCall))
+    inner_fors = fors(inner)
+    # //book[pred]/price was split into two for clauses
+    assert len(inner_fors) == 2
+    assert str(inner_fors[0].source.path) == "//book"
+    assert str(inner_fors[1].source.path) == "price"
+
+
+# ----------------------------------------------------------------------
+# Q3: quantifier range embedded into a FLWR; satisfies moved (∃)
+# ----------------------------------------------------------------------
+def test_q3_satisfies_moved_into_range():
+    flwr = norm(Q3_EXISTS)
+    quant = flwr.where
+    assert isinstance(quant, ast.Quantified)
+    assert quant.kind == "some"
+    # satisfies became true()
+    assert quant.pred == ast.FuncCall("true", ())
+    # and the correlation sits in the range's where
+    assert isinstance(quant.source, ast.FLWR)
+    assert quant.source.where is not None
+
+
+# ----------------------------------------------------------------------
+# Q4: exists() becomes a some-quantifier; doc vars localized
+# ----------------------------------------------------------------------
+def test_q4_exists_becomes_quantifier():
+    flwr = norm(Q4_EXISTS2)
+    assert isinstance(flwr.where, ast.Quantified)
+    assert flwr.where.kind == "some"
+
+
+def test_q4_doc_localized_into_inner_block():
+    flwr = norm(Q4_EXISTS2)
+    inner = flwr.where.source
+    # the inner block must not reference the outer $d1 anymore
+    from repro.xquery.normalize import collect_variables
+    inner_refs = collect_variables(inner)
+    assert "d1" not in inner_refs
+    # instead a doc() call appears in a for clause
+    sources = [c.source for c in fors(inner)]
+    assert any(isinstance(s, ast.PathExpr)
+               and isinstance(s.source, ast.DocCall) for s in sources)
+
+
+# ----------------------------------------------------------------------
+# Q5: range retargeting to the @year values (∀ keeps its predicate)
+# ----------------------------------------------------------------------
+def test_q5_range_retargeted_to_year():
+    flwr = norm(Q5_FORALL)
+    quant = flwr.where
+    assert quant.kind == "every"
+    # the satisfies predicate compares the bound variable directly
+    assert isinstance(quant.pred, ast.Comparison)
+    assert quant.pred.left == ast.VarRef(quant.var)
+    # the range returns the year let-variable
+    inner = quant.source
+    assert isinstance(inner.ret, ast.VarRef)
+    year_lets = [c for c in lets(inner)
+                 if isinstance(c.expr, ast.PathExpr)
+                 and str(c.expr.path) == "@year"]
+    assert len(year_lets) == 1
+    assert inner.ret.name == year_lets[0].var
+
+
+def test_q5_correlation_unnested_with_for():
+    """In quantifier ranges multi-valued paths bind with `for` (the
+    paper's `for $a3 in $b3/author`), enabling Eqv. 7."""
+    flwr = norm(Q5_FORALL)
+    inner = flwr.where.source
+    author_fors = [c for c in fors(inner)
+                   if isinstance(c.source, ast.PathExpr)
+                   and str(c.source.path) == "author"]
+    assert len(author_fors) == 1
+
+
+# ----------------------------------------------------------------------
+# Q6: aggregate in where extracted to a let over a FLWR-ified path
+# ----------------------------------------------------------------------
+def test_q6_where_aggregate_extracted():
+    flwr = norm(Q6_HAVING)
+    assert isinstance(flwr.where, ast.Comparison)
+    assert isinstance(flwr.where.left, ast.VarRef)
+    count_lets = [c for c in lets(flwr)
+                  if isinstance(c.expr, ast.FuncCall)
+                  and c.expr.name == "count"]
+    assert len(count_lets) == 1
+    assert isinstance(count_lets[0].expr.args[0], ast.FLWR)
+
+
+def test_q6_inner_correlation_normalized():
+    flwr = norm(Q6_HAVING)
+    inner = next(c.expr.args[0] for c in lets(flwr)
+                 if isinstance(c.expr, ast.FuncCall))
+    assert inner.where is not None
+    assert isinstance(inner.ret, ast.VarRef)
+
+
+# ----------------------------------------------------------------------
+# General machinery
+# ----------------------------------------------------------------------
+def test_normalize_requires_flwr():
+    with pytest.raises(TranslationError):
+        normalize(parse_xquery("count($x)"))
+
+
+def test_substitute_var_shadowing():
+    flwr = parse_xquery("for $x in $y//a return $x")
+    replaced = substitute_var(flwr, "y", ast.DocCall("d.xml"))
+    assert replaced.clauses[0].source.source == ast.DocCall("d.xml")
+    # bound variable $x untouched even if substituting x
+    same = substitute_var(flwr, "x", ast.DocCall("d.xml"))
+    assert same == flwr
+
+
+def test_normalization_idempotent_on_q1():
+    once = norm(Q1_GROUPING)
+    twice = normalize(once)
+    assert str(once) == str(twice)

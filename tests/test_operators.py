@@ -1,0 +1,376 @@
+"""Reference semantics of the NAL operators, including the paper's
+worked examples (Figs. 1 and 2) and the §2 Ξ example."""
+
+import pytest
+
+from repro.engine.context import EvalContext
+from repro.errors import EvaluationError
+from repro.nal import (
+    AggSpec,
+    AntiJoin,
+    Construct,
+    Cross,
+    DistinctProject,
+    GroupBinary,
+    GroupConstruct,
+    GroupUnary,
+    Join,
+    Lit,
+    Map,
+    Out,
+    OuterJoin,
+    Project,
+    ProjectAway,
+    Rename,
+    Select,
+    SelfGroup,
+    SemiJoin,
+    Singleton,
+    Sort,
+    Table,
+    Tup,
+    Unnest,
+    UnnestMap,
+    NULL,
+)
+from repro.nal.scalar import (
+    AttrRef,
+    Comparison,
+    Const,
+    Exists,
+    Forall,
+    FuncCall,
+    In,
+    NestedPlan,
+    TRUE,
+)
+from repro.xmldb.document import DocumentStore
+
+
+@pytest.fixture
+def ctx():
+    return EvalContext(DocumentStore())
+
+
+def rows(plan, ctx):
+    return plan.evaluate(ctx)
+
+
+# ----------------------------------------------------------------------
+# Leaves and simple unary operators
+# ----------------------------------------------------------------------
+def test_singleton(ctx):
+    assert rows(Singleton(), ctx) == [Tup({})]
+
+
+def test_table_checks_attrs():
+    with pytest.raises(EvaluationError):
+        Table("T", ["a"], [{"b": 1}])
+
+
+def test_select_preserves_order(ctx, r2):
+    plan = Select(r2, Comparison(AttrRef("A2"), "=", Const(1)))
+    assert [t["B"] for t in rows(plan, ctx)] == [2, 3]
+
+
+def test_project(ctx, r2):
+    out = rows(Project(r2, ["B"]), ctx)
+    assert [t["B"] for t in out] == [2, 3, 4, 5]
+    assert out[0].attrs() == ("B",)
+
+
+def test_project_away(ctx, r2):
+    out = rows(ProjectAway(r2, ["B"]), ctx)
+    assert out[0].attrs() == ("A2",)
+
+
+def test_rename(ctx, r1):
+    out = rows(Rename(r1, {"A1": "X"}), ctx)
+    assert out[0].attrs() == ("X",)
+    assert Rename(r1, {"A1": "X"}).attrs() == {"X"}
+
+
+def test_distinct_project_first_occurrence(ctx, r2):
+    out = rows(DistinctProject(r2, ["A2"]), ctx)
+    assert [t["A2"] for t in out] == [1, 2]
+
+
+def test_distinct_project_with_rename(ctx, r2):
+    out = rows(DistinctProject(r2, ["A2"], rename={"A2": "K"}), ctx)
+    assert out[0].attrs() == ("K",)
+
+
+def test_map_fig1(ctx, r1, r2):
+    """Figure 1: χ_{a:σ_{A1=A2}(R2)}(R1)."""
+    plan = Map(r1, "a", NestedPlan(
+        Select(r2, Comparison(AttrRef("A1"), "=", AttrRef("A2")))))
+    out = rows(plan, ctx)
+    assert [t["A1"] for t in out] == [1, 2, 3]
+    assert [len(t["a"]) for t in out] == [2, 2, 0]
+    assert out[0]["a"][0] == Tup({"A2": 1, "B": 2})
+
+
+def test_unnest_map(ctx, r1):
+    plan = UnnestMap(r1, "x", FuncCall("distinct-values",
+                                       [Const([10, 20, 10])]))
+    out = rows(plan, ctx)
+    # each R1 tuple expands to the two distinct values
+    assert len(out) == 6
+    assert out[0]["x"] == 10 and out[1]["x"] == 20
+
+
+def test_unnest_map_empty_sequence_drops_tuple(ctx, r1):
+    plan = UnnestMap(r1, "x", Const([]))
+    assert rows(plan, ctx) == []
+
+
+def test_unnest_basic(ctx):
+    nested = Table("N", ["k", "g"], [
+        {"k": 1, "g": [Tup({"v": "a"}), Tup({"v": "b"})]},
+        {"k": 2, "g": []},
+    ])
+    out = rows(Unnest(nested, "g", ["v"]), ctx)
+    assert [(t["k"], t["v"]) for t in out] == [(1, "a"), (1, "b")]
+
+
+def test_unnest_preserve_empty_pads_null(ctx):
+    nested = Table("N", ["k", "g"], [{"k": 2, "g": []}])
+    out = rows(Unnest(nested, "g", ["v"], preserve_empty=True), ctx)
+    assert out == [Tup({"k": 2, "v": NULL})]
+
+
+def test_unnest_dedup_by_value(ctx):
+    nested = Table("N", ["k", "g"], [
+        {"k": 1, "g": [Tup({"v": "a"}), Tup({"v": "a"}),
+                       Tup({"v": "b"})]},
+    ])
+    out = rows(Unnest(nested, "g", ["v"], dedup=True), ctx)
+    assert [t["v"] for t in out] == ["a", "b"]
+
+
+def test_sort_stable(ctx):
+    table = Table("T", ["k", "i"], [
+        {"k": "b", "i": 1}, {"k": "a", "i": 2}, {"k": "b", "i": 3},
+        {"k": "a", "i": 4},
+    ])
+    out = rows(Sort(table, ["k"]), ctx)
+    assert [(t["k"], t["i"]) for t in out] == [
+        ("a", 2), ("a", 4), ("b", 1), ("b", 3)]
+
+
+# ----------------------------------------------------------------------
+# Binary operators
+# ----------------------------------------------------------------------
+def test_cross_left_major_order(ctx, r1, r2):
+    out = rows(Cross(r1, r2), ctx)
+    assert len(out) == 12
+    assert [t["A1"] for t in out[:4]] == [1, 1, 1, 1]
+    assert [t["B"] for t in out[:4]] == [2, 3, 4, 5]
+
+
+def test_cross_rejects_attr_overlap(r1):
+    with pytest.raises(EvaluationError, match="overlap"):
+        Cross(r1, Table("T", ["A1"], [{"A1": 9}]))
+
+
+def test_join_is_selection_over_cross(ctx, r1, r2):
+    pred = Comparison(AttrRef("A1"), "=", AttrRef("A2"))
+    joined = rows(Join(r1, r2, pred), ctx)
+    reference = rows(Select(Cross(r1, r2), pred), ctx)
+    assert joined == reference
+
+
+def test_semijoin(ctx, r1, r2):
+    pred = Comparison(AttrRef("A1"), "=", AttrRef("A2"))
+    out = rows(SemiJoin(r1, r2, pred), ctx)
+    assert [t["A1"] for t in out] == [1, 2]
+    assert out[0].attrs() == ("A1",)
+
+
+def test_antijoin(ctx, r1, r2):
+    pred = Comparison(AttrRef("A1"), "=", AttrRef("A2"))
+    out = rows(AntiJoin(r1, r2, pred), ctx)
+    assert [t["A1"] for t in out] == [3]
+
+
+def test_outer_join_pads_default(ctx, r1, r2):
+    grouped = GroupUnary(r2, "g", ["A2"], "=", AggSpec("count"))
+    pred = Comparison(AttrRef("A1"), "=", AttrRef("A2"))
+    out = rows(OuterJoin(r1, grouped, pred, "g", Const(0)), ctx)
+    assert [(t["A1"], t["g"]) for t in out] == [(1, 2), (2, 2), (3, 0)]
+    assert out[2]["A2"] is NULL
+
+
+# ----------------------------------------------------------------------
+# Grouping (Figure 2)
+# ----------------------------------------------------------------------
+def test_unary_group_count_fig2(ctx, r2):
+    out = rows(GroupUnary(r2, "g", ["A2"], "=", AggSpec("count")), ctx)
+    assert [(t["A2"], t["g"]) for t in out] == [(1, 2), (2, 2)]
+
+
+def test_unary_group_id_fig2(ctx, r2):
+    out = rows(GroupUnary(r2, "g", ["A2"], "=", AggSpec("id")), ctx)
+    assert out[0]["g"] == [Tup({"A2": 1, "B": 2}), Tup({"A2": 1, "B": 3})]
+
+
+def test_binary_group_fig2(ctx, r1, r2):
+    out = rows(GroupBinary(r1, r2, "g", ["A1"], "=", ["A2"],
+                           AggSpec("id")), ctx)
+    assert [t["A1"] for t in out] == [1, 2, 3]
+    assert out[2]["g"] == []  # the empty group for A1=3 — no count bug
+
+
+def test_binary_group_theta_less_than(ctx, r1, r2):
+    out = rows(GroupBinary(r1, r2, "g", ["A1"], "<", ["A2"],
+                           AggSpec("count")), ctx)
+    # A1=1 matches A2 in {2}: two tuples; A1=2,3: none above
+    assert [(t["A1"], t["g"]) for t in out] == [(1, 2), (2, 0), (3, 0)]
+
+
+def test_unary_group_with_filter(ctx, r2):
+    agg = AggSpec("count",
+                  filter_pred=Comparison(AttrRef("B"), ">", Const(2)))
+    out = rows(GroupUnary(r2, "g", ["A2"], "=", agg), ctx)
+    assert [(t["A2"], t["g"]) for t in out] == [(1, 1), (2, 2)]
+
+
+def test_group_min_aggregate(ctx, r2):
+    out = rows(GroupUnary(r2, "m", ["A2"], "=", AggSpec("min", "B")), ctx)
+    assert [(t["A2"], t["m"]) for t in out] == [(1, 2), (2, 4)]
+
+
+def test_self_group(ctx, r2):
+    out = rows(SelfGroup(r2, "n", ["A2"], AggSpec("count")), ctx)
+    assert [(t["A2"], t["B"], t["n"]) for t in out] == [
+        (1, 2, 2), (1, 3, 2), (2, 4, 2), (2, 5, 2)]
+
+
+def test_agg_spec_empty_values():
+    assert AggSpec("count").empty_value() == 0
+    assert AggSpec("sum", "x").empty_value() == 0
+    assert AggSpec("min", "x").empty_value() is NULL
+    assert AggSpec("id").empty_value() == []
+    assert AggSpec("project", "x").empty_value() == []
+
+
+def test_agg_spec_dependencies():
+    agg = AggSpec("min", "c", filter_pred=Comparison(
+        AttrRef("y"), "<=", Const(1993)))
+    assert agg.referenced_attrs() == {"c", "y"}
+    assert agg.depends_on({"y"})
+    assert not agg.depends_on({"z"})
+
+
+def test_agg_spec_validation():
+    with pytest.raises(EvaluationError):
+        AggSpec("median")
+    with pytest.raises(EvaluationError):
+        AggSpec("min")  # needs an attribute
+
+
+# ----------------------------------------------------------------------
+# Quantifier predicates
+# ----------------------------------------------------------------------
+def test_exists_pred(ctx, r1, r2):
+    inner = NestedPlan(Project(
+        Select(r2, Comparison(AttrRef("A1"), "=", AttrRef("A2"))),
+        ["B"]))
+    plan = Select(r1, Exists("x", inner, TRUE))
+    assert [t["A1"] for t in rows(plan, ctx)] == [1, 2]
+
+
+def test_forall_pred(ctx, r1, r2):
+    inner = NestedPlan(Project(
+        Select(r2, Comparison(AttrRef("A1"), "=", AttrRef("A2"))),
+        ["B"]))
+    plan = Select(r1, Forall("x", inner,
+                             Comparison(AttrRef("x"), ">", Const(2))))
+    # A1=1 has B in {2,3} (2 fails); A1=2 has {4,5}; A1=3 vacuously true
+    assert [t["A1"] for t in rows(plan, ctx)] == [2, 3]
+
+
+def test_membership_pred(ctx):
+    table = Table("T", ["x", "s"], [
+        {"x": 1, "s": [Tup({"v": 1}), Tup({"v": 5})]},
+        {"x": 2, "s": [Tup({"v": 3})]},
+    ])
+    plan = Select(table, In(AttrRef("x"), AttrRef("s")))
+    assert [t["x"] for t in rows(plan, ctx)] == [1]
+
+
+# ----------------------------------------------------------------------
+# Ξ construction (§2 example)
+# ----------------------------------------------------------------------
+AUTHOR_TITLE = [
+    {"a": "author1", "t": "title1"},
+    {"a": "author1", "t": "title2"},
+    {"a": "author2", "t": "title1"},
+    {"a": "author2", "t": "title3"},
+]
+
+
+def test_simple_construct_is_identity_with_side_effect(ctx):
+    table = Table("T", ["a", "t"], AUTHOR_TITLE)
+    plan = Construct(table, [Lit("<t>"), Out(AttrRef("t")), Lit("</t>")])
+    out = rows(plan, ctx)
+    assert len(out) == 4  # identity on its input
+    assert ctx.output_text().startswith("<t>title1</t><t>title2</t>")
+
+
+def test_group_construct_paper_example(ctx):
+    """The exact §2 group-detecting Ξ example."""
+    table = Table("T", ["a", "t"], AUTHOR_TITLE)
+    plan = GroupConstruct(
+        table, ["a"],
+        s1=[Lit("<author><name>"), Out(AttrRef("a")), Lit("</name>")],
+        s2=[Lit("<title>"), Out(AttrRef("t")), Lit("</title>")],
+        s3=[Lit("</author>")])
+    rows(plan, ctx)
+    assert ctx.output_text() == (
+        "<author><name>author1</name>"
+        "<title>title1</title><title>title2</title></author>"
+        "<author><name>author2</name>"
+        "<title>title1</title><title>title3</title></author>")
+
+
+def test_group_construct_empty_input(ctx):
+    table = Table("T", ["a"], [])
+    plan = GroupConstruct(table, ["a"], [Lit("x")], [], [Lit("y")])
+    rows(plan, ctx)
+    assert ctx.output_text() == ""
+
+
+# ----------------------------------------------------------------------
+# A(e) and F(e)
+# ----------------------------------------------------------------------
+def test_attrs_computation(r1, r2):
+    pred = Comparison(AttrRef("A1"), "=", AttrRef("A2"))
+    assert Join(r1, r2, pred).attrs() == {"A1", "A2", "B"}
+    assert SemiJoin(r1, r2, pred).attrs() == {"A1"}
+    assert GroupUnary(r2, "g", ["A2"], "=",
+                      AggSpec("count")).attrs() == {"A2", "g"}
+    assert GroupBinary(r1, r2, "g", ["A1"], "=", ["A2"],
+                       AggSpec("id")).attrs() == {"A1", "g"}
+
+
+def test_free_vars_of_nested_plan(r2):
+    inner = Select(r2, Comparison(AttrRef("A1"), "=", AttrRef("A2")))
+    assert inner.free_vars() == {"A1"}
+    nested = NestedPlan(Project(inner, ["B"]))
+    assert nested.free_attrs() == {"A1"}
+
+
+def test_free_vars_closed_by_outer(r1, r2):
+    inner = NestedPlan(Select(
+        r2, Comparison(AttrRef("A1"), "=", AttrRef("A2"))))
+    outer = Map(r1, "g", inner)
+    assert outer.free_vars() == frozenset()
+
+
+def test_structural_equality(r1, r2):
+    pred = Comparison(AttrRef("A1"), "=", AttrRef("A2"))
+    assert Join(r1, r2, pred) == Join(r1, r2, pred)
+    assert Join(r1, r2, pred) != SemiJoin(r1, r2, pred)
+    assert Select(r1, pred) != Select(r1, Comparison(
+        AttrRef("A1"), "<", AttrRef("A2")))

@@ -1,0 +1,82 @@
+"""Tests for plan rendering (tree, compact, EXPLAIN, and DOT)."""
+
+from __future__ import annotations
+
+from repro import Database, compile_query
+from repro.datagen import BIB_DTD, generate_bib
+from repro.nal.pretty import explain, plan_to_dot, plan_to_string
+from repro.nal.scalar import AttrRef, Comparison
+from repro.nal.unary_ops import Select, Table
+
+NESTED_QUERY = '''
+let $d1 := doc("bib.xml")
+for $a1 in distinct-values($d1//author)
+return
+  <author><name> { $a1 } </name>
+  { let $d2 := doc("bib.xml")
+    for $b2 in $d2/book[$a1 = author]
+    return $b2/title }
+  </author>
+'''
+
+
+def _query():
+    db = Database()
+    db.register_tree("bib.xml", generate_bib(4, 2, seed=1),
+                     dtd_text=BIB_DTD)
+    return compile_query(NESTED_QUERY, db)
+
+
+def test_tree_rendering_shows_nested_marker():
+    text = plan_to_string(_query().plan)
+    assert "⟨nested⟩" in text
+    assert "Υ" in text and "χ" in text
+
+
+def test_unnested_plan_has_no_nested_marker():
+    query = _query()
+    best = query.best()
+    assert "⟨nested⟩" not in plan_to_string(best.plan)
+
+
+def test_compact_rendering_is_one_line():
+    table = Table("T", ["a"], [{"a": 1}])
+    plan = Select(table, Comparison(AttrRef("a"), ">", AttrRef("a")))
+    compact = plan_to_string(plan, compact=True)
+    assert "\n" not in compact
+    assert compact.startswith("σ")
+
+
+def test_explain_has_header():
+    assert explain(_query().plan).startswith("Plan\n----\n")
+
+
+def test_dot_output_is_a_digraph():
+    dot = plan_to_dot(_query().plan)
+    assert dot.startswith("digraph plan {")
+    assert dot.rstrip().endswith("}")
+    assert "->" in dot
+
+
+def test_dot_marks_nested_cluster():
+    dot = plan_to_dot(_query().plan)
+    assert "cluster_" in dot
+    assert "style=dashed" in dot
+
+
+def test_dot_unnested_plan_has_no_cluster():
+    dot = plan_to_dot(_query().best().plan)
+    assert "cluster_" not in dot
+
+
+def test_dot_escapes_quotes():
+    dot = plan_to_dot(_query().plan)
+    # doc("bib.xml") appears in labels; quotes must be escaped
+    assert '\\"bib.xml\\"' in dot
+
+
+def test_dot_node_count_matches_operators():
+    table = Table("T", ["a"], [{"a": 1}])
+    plan = Select(table, Comparison(AttrRef("a"), ">", AttrRef("a")))
+    dot = plan_to_dot(plan)
+    assert dot.count("[label=") == 2

@@ -1,0 +1,234 @@
+"""Property tests for the §2 "familiar equivalences" and the
+push_selections / reassociate_left drivers (repro.optimizer.pushdown).
+
+Each §2 identity is replayed on random relations, checking the full
+output *sequence* (order included).  The drivers are then checked to be
+semantics-preserving on arbitrary compositions, and to actually move
+selections (structure assertions).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.context import EvalContext
+from repro.nal import (
+    AntiJoin,
+    Cross,
+    Join,
+    OuterJoin,
+    Select,
+    SemiJoin,
+    Table,
+)
+from repro.nal.scalar import And, AttrRef, Comparison, Const
+from repro.optimizer.pushdown import push_selections, reassociate_left
+from repro.xmldb.document import DocumentStore
+
+values = st.integers(min_value=0, max_value=4)
+
+
+@st.composite
+def tables(draw, name: str, attrs: tuple[str, ...], max_size: int = 5):
+    rows = draw(st.lists(
+        st.tuples(*(values for _ in attrs)), max_size=max_size))
+    return Table(name, list(attrs),
+                 [dict(zip(attrs, row)) for row in rows])
+
+
+def t1():
+    return tables("T1", ("A", "B"))
+
+
+def t2():
+    return tables("T2", ("C", "D"))
+
+
+def t3():
+    return tables("T3", ("E",), max_size=4)
+
+
+def run(plan):
+    return plan.evaluate(EvalContext(DocumentStore()))
+
+
+PRED_A = Comparison(AttrRef("A"), ">", Const(1))
+PRED_C = Comparison(AttrRef("C"), "<=", Const(2))
+PRED_AC = Comparison(AttrRef("A"), "=", AttrRef("C"))
+PRED_CE = Comparison(AttrRef("C"), "=", AttrRef("E"))
+
+
+# ---------------------------------------------------------------------------
+# The §2 identities, one property each
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=80, deadline=None)
+@given(e=t1())
+def test_selections_commute(e):
+    p1 = Comparison(AttrRef("A"), ">", Const(0))
+    p2 = Comparison(AttrRef("B"), "<", Const(3))
+    assert run(Select(Select(e, p1), p2)) == \
+        run(Select(Select(e, p2), p1))
+
+
+@settings(max_examples=80, deadline=None)
+@given(e1=t1(), e2=t2())
+def test_select_pushes_left_of_cross(e1, e2):
+    assert run(Select(Cross(e1, e2), PRED_A)) == \
+        run(Cross(Select(e1, PRED_A), e2))
+
+
+@settings(max_examples=80, deadline=None)
+@given(e1=t1(), e2=t2())
+def test_select_pushes_right_of_cross(e1, e2):
+    assert run(Select(Cross(e1, e2), PRED_C)) == \
+        run(Cross(e1, Select(e2, PRED_C)))
+
+
+@settings(max_examples=80, deadline=None)
+@given(e1=t1(), e2=t2())
+def test_select_pushes_left_of_join(e1, e2):
+    assert run(Select(Join(e1, e2, PRED_AC), PRED_A)) == \
+        run(Join(Select(e1, PRED_A), e2, PRED_AC))
+
+
+@settings(max_examples=80, deadline=None)
+@given(e1=t1(), e2=t2())
+def test_select_pushes_right_of_join(e1, e2):
+    assert run(Select(Join(e1, e2, PRED_AC), PRED_C)) == \
+        run(Join(e1, Select(e2, PRED_C), PRED_AC))
+
+
+@settings(max_examples=80, deadline=None)
+@given(e1=t1(), e2=t2())
+def test_select_pushes_left_of_semijoin(e1, e2):
+    assert run(Select(SemiJoin(e1, e2, PRED_AC), PRED_A)) == \
+        run(SemiJoin(Select(e1, PRED_A), e2, PRED_AC))
+
+
+@settings(max_examples=80, deadline=None)
+@given(e1=t1(), e2=t2())
+def test_select_pushes_left_of_antijoin(e1, e2):
+    assert run(Select(AntiJoin(e1, e2, PRED_AC), PRED_A)) == \
+        run(AntiJoin(Select(e1, PRED_A), e2, PRED_AC))
+
+
+@settings(max_examples=80, deadline=None)
+@given(e1=t1(), e2=t2())
+def test_select_pushes_left_of_outerjoin(e1, e2):
+    lhs = Select(OuterJoin(e1, e2, PRED_AC, "g", Const(0)), PRED_A)
+    rhs = OuterJoin(Select(e1, PRED_A), e2, PRED_AC, "g", Const(0))
+    assert run(lhs) == run(rhs)
+
+
+@settings(max_examples=80, deadline=None)
+@given(e1=t1(), e2=t2(), e3=t3())
+def test_cross_is_associative(e1, e2, e3):
+    assert run(Cross(e1, Cross(e2, e3))) == \
+        run(Cross(Cross(e1, e2), e3))
+
+
+@settings(max_examples=80, deadline=None)
+@given(e1=t1(), e2=t2(), e3=t3())
+def test_join_is_associative(e1, e2, e3):
+    lhs = Join(e1, Join(e2, e3, PRED_CE), PRED_AC)
+    rhs = Join(Join(e1, e2, PRED_AC), e3, PRED_CE)
+    assert run(lhs) == run(rhs)
+
+
+@settings(max_examples=60, deadline=None)
+@given(e1=t1(), e2=t2())
+def test_cross_not_commutative_witness(e1, e2):
+    """Sanity: the ordered × is only commutative up to reordering —
+    equality of sequences generally fails, which is why no rewrite here
+    swaps operands."""
+    ab = run(Cross(e1, e2))
+    ba = [t for t in run(Cross(e2, e1))]
+    as_sets = {tuple(sorted(t.items())) for t in ab}
+    assert as_sets == {tuple(sorted(t.items())) for t in ba}
+
+
+# ---------------------------------------------------------------------------
+# The push_selections driver
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=80, deadline=None)
+@given(e1=t1(), e2=t2())
+def test_push_selections_preserves_semantics(e1, e2):
+    plan = Select(Join(e1, e2, PRED_AC), And([PRED_A, PRED_C]))
+    assert run(push_selections(plan)) == run(plan)
+
+
+@settings(max_examples=80, deadline=None)
+@given(e1=t1(), e2=t2(), e3=t3())
+def test_push_selections_through_two_levels(e1, e2, e3):
+    plan = Select(Join(Join(e1, e2, PRED_AC), e3, PRED_CE),
+                  And([PRED_A, PRED_C]))
+    assert run(push_selections(plan)) == run(plan)
+
+
+def test_push_selections_moves_conjuncts():
+    e1 = Table("T1", ["A", "B"], [{"A": 1, "B": 2}])
+    e2 = Table("T2", ["C", "D"], [{"C": 1, "D": 2}])
+    plan = Select(Join(e1, e2, PRED_AC), And([PRED_A, PRED_C]))
+    pushed = push_selections(plan)
+    # top operator is now the join; both conjuncts sank to the inputs
+    assert isinstance(pushed, Join)
+    assert isinstance(pushed.children[0], Select)
+    assert isinstance(pushed.children[1], Select)
+
+
+def test_push_selections_keeps_unpushable_predicate():
+    e1 = Table("T1", ["A", "B"], [{"A": 1, "B": 2}])
+    e2 = Table("T2", ["C", "D"], [{"C": 1, "D": 2}])
+    cross_pred = Comparison(AttrRef("B"), "=", AttrRef("D"))
+    plan = Select(Cross(e1, e2), cross_pred)
+    pushed = push_selections(plan)
+    assert isinstance(pushed, Select)  # references both sides: stays
+
+
+def test_push_selections_noop_returns_same_object():
+    e1 = Table("T1", ["A", "B"], [{"A": 1, "B": 2}])
+    plan = Select(e1, PRED_A)
+    assert push_selections(plan) is plan
+
+
+# ---------------------------------------------------------------------------
+# The reassociate_left driver
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(e1=t1(), e2=t2(), e3=t3())
+def test_reassociate_left_preserves_semantics(e1, e2, e3):
+    plan = Join(e1, Join(e2, e3, PRED_CE), PRED_AC)
+    assert run(reassociate_left(plan)) == run(plan)
+
+
+def test_reassociate_left_produces_left_deep_shape():
+    e1 = Table("T1", ["A"], [{"A": 1}])
+    e2 = Table("T2", ["C"], [{"C": 1}])
+    e3 = Table("T3", ["E"], [{"E": 1}])
+    plan = Join(e1, Join(e2, e3, PRED_CE), PRED_AC)
+    rotated = reassociate_left(plan)
+    assert isinstance(rotated, Join)
+    assert isinstance(rotated.children[0], Join)
+    assert isinstance(rotated.children[0].children[0], Table)
+
+
+def test_reassociate_skips_when_scope_blocks():
+    """p1 touching e3's attributes blocks the rotation."""
+    e1 = Table("T1", ["A"], [{"A": 1}])
+    e2 = Table("T2", ["C"], [{"C": 1}])
+    e3 = Table("T3", ["E"], [{"E": 1}])
+    p1 = Comparison(AttrRef("A"), "=", AttrRef("E"))  # refers to e3!
+    plan = Join(e1, Join(e2, e3, PRED_CE), p1)
+    assert reassociate_left(plan) is plan
+
+
+def test_reassociate_cross_chain():
+    e1 = Table("T1", ["A"], [{"A": 1}])
+    e2 = Table("T2", ["C"], [{"C": 2}])
+    e3 = Table("T3", ["E"], [{"E": 3}])
+    plan = Cross(e1, Cross(e2, e3))
+    rotated = reassociate_left(plan)
+    assert isinstance(rotated.children[0], Cross)

@@ -1,0 +1,186 @@
+"""NAL value model: tuples, NULL, atomization, comparison, keys."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.nal.values import (
+    NULL,
+    Tup,
+    atomize,
+    atomize_sequence,
+    canonical_key,
+    compare_atomic,
+    deep_equal,
+    effective_boolean,
+    general_compare,
+    iter_items,
+    null_tuple,
+    sort_key,
+)
+from repro.xmldb.node import element
+
+
+def test_null_is_singleton_and_falsy():
+    from repro.nal.values import _Null
+    assert _Null() is NULL
+    assert not NULL
+    assert repr(NULL) == "NULL"
+
+
+# ----------------------------------------------------------------------
+# Tup
+# ----------------------------------------------------------------------
+def test_tuple_access_and_attrs():
+    t = Tup({"a": 1, "b": "x"})
+    assert t["a"] == 1
+    assert t.attrs() == ("a", "b")
+    assert "b" in t and "c" not in t
+
+
+def test_tuple_missing_attr_raises_with_candidates():
+    t = Tup({"a": 1})
+    with pytest.raises(EvaluationError, match="'b'"):
+        t["b"]
+
+
+def test_concat_right_wins():
+    assert Tup({"a": 1}).concat(Tup({"b": 2}))["b"] == 2
+
+
+def test_extend_immutable():
+    t = Tup({"a": 1})
+    t2 = t.extend("b", 2)
+    assert "b" not in t
+    assert t2["b"] == 2
+
+
+def test_project_order_follows_argument():
+    t = Tup({"a": 1, "b": 2, "c": 3})
+    assert t.project(["c", "a"]).attrs() == ("c", "a")
+
+
+def test_project_away():
+    t = Tup({"a": 1, "b": 2})
+    assert t.project_away(["a"]).attrs() == ("b",)
+
+
+def test_rename():
+    t = Tup({"a": 1, "b": 2}).rename({"a": "x"})
+    assert t.attrs() == ("x", "b")
+
+
+def test_tuple_equality_deep():
+    t1 = Tup({"g": [Tup({"x": 1})]})
+    t2 = Tup({"g": [Tup({"x": 1})]})
+    assert t1 == t2
+    assert t1 != Tup({"g": []})
+
+
+def test_null_tuple():
+    t = null_tuple(["a", "b"])
+    assert t["a"] is NULL and t["b"] is NULL
+
+
+# ----------------------------------------------------------------------
+# Atomization / items
+# ----------------------------------------------------------------------
+def test_atomize_node():
+    node = element("t", "hello")
+    assert atomize(node) == "hello"
+
+
+def test_atomize_sequence_flattens():
+    assert atomize_sequence([1, [2, 3]]) == [1, 2, 3]
+
+
+def test_atomize_sequence_single_attr_tuples():
+    assert atomize_sequence([Tup({"a": element("x", "v")})]) == ["v"]
+
+
+def test_atomize_sequence_multi_attr_tuple_rejected():
+    with pytest.raises(EvaluationError):
+        atomize_sequence([Tup({"a": 1, "b": 2})])
+
+
+def test_iter_items_skips_null():
+    assert iter_items(NULL) == []
+    assert iter_items([1, NULL and None]) == [1]
+
+
+# ----------------------------------------------------------------------
+# Comparison semantics
+# ----------------------------------------------------------------------
+def test_numeric_coercion():
+    assert compare_atomic("10", "=", 10)
+    assert compare_atomic("9", "<", "10")  # both numeric-parsable
+    assert compare_atomic(element("y", "1994"), ">", 1993)
+
+
+def test_string_comparison():
+    assert compare_atomic("abc", "<", "abd")
+    assert not compare_atomic("abc", "=", "abd")
+
+
+def test_null_comparisons_false():
+    assert not compare_atomic(NULL, "=", NULL)
+    assert not compare_atomic(NULL, "=", 1)
+    assert not compare_atomic(1, "!=", NULL)
+
+
+def test_mixed_number_string_inequality():
+    assert not compare_atomic("abc", "=", 1)
+    assert compare_atomic("abc", "!=", 1)
+
+
+def test_general_compare_existential():
+    assert general_compare([1, 2, 3], "=", 2)
+    assert general_compare(2, "=", [1, 2])
+    assert not general_compare([1, 3], "=", [2, 4])
+    assert general_compare([Tup({"a": 5})], ">", 4)
+
+
+def test_general_compare_empty_sequences():
+    assert not general_compare([], "=", [])
+    assert not general_compare([1], "=", [])
+
+
+# ----------------------------------------------------------------------
+# Keys and ordering
+# ----------------------------------------------------------------------
+def test_canonical_key_consistent_with_equality():
+    assert canonical_key("10") == canonical_key(10)
+    assert canonical_key("x") != canonical_key(10)
+    assert canonical_key(element("a", "v")) == canonical_key("v")
+    assert canonical_key(NULL) == canonical_key(NULL)
+
+
+def test_canonical_key_bool_distinct_from_number():
+    assert canonical_key(True) != canonical_key(1)
+
+
+def test_sort_key_total_order():
+    values = ["b", 2, NULL, "a", 10, element("x", "1")]
+    ordered = sorted(values, key=sort_key)
+    assert ordered[0] is NULL
+    numbers = [v for v in ordered if sort_key(v)[0] == 1]
+    assert [sort_key(v)[1] for v in numbers] == sorted(
+        sort_key(v)[1] for v in numbers)
+
+
+def test_deep_equal():
+    assert deep_equal([Tup({"a": 1})], [Tup({"a": 1})])
+    assert not deep_equal([Tup({"a": 1})], [Tup({"a": 2})])
+    assert deep_equal(NULL, NULL)
+    assert not deep_equal(NULL, 0)
+    node = element("a", "x")
+    assert deep_equal(node, node)
+
+
+def test_effective_boolean():
+    assert not effective_boolean([])
+    assert effective_boolean([1])
+    assert not effective_boolean("")
+    assert effective_boolean("x")
+    assert not effective_boolean(0)
+    assert effective_boolean(element("a"))
+    assert not effective_boolean(NULL)

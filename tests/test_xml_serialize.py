@@ -1,0 +1,47 @@
+"""Serialization round-trips and escaping."""
+
+from repro.xmldb.node import element
+from repro.xmldb.parser import parse_document
+from repro.xmldb.serialize import serialize
+
+
+def test_roundtrip_simple():
+    text = "<a><b>x</b><c>y</c></a>"
+    assert serialize(parse_document(text).root) == text
+
+
+def test_roundtrip_attributes():
+    text = '<a k="v"><b>x</b></a>'
+    assert serialize(parse_document(text).root) == text
+
+
+def test_escaping_text():
+    root = element("a", "x < y & z")
+    assert serialize(root) == "<a>x &lt; y &amp; z</a>"
+
+
+def test_escaping_attribute():
+    root = element("a", q='say "hi" & go')
+    assert serialize(root) == '<a q="say &quot;hi&quot; &amp; go"/>'
+
+
+def test_empty_element_self_closes():
+    assert serialize(element("a")) == "<a/>"
+
+
+def test_pretty_print_indents():
+    root = element("a", element("b", "x"), element("c"))
+    pretty = serialize(root, indent=2)
+    assert "\n  <b>x</b>\n" in pretty
+
+
+def test_entity_roundtrip():
+    text = "<a>x &amp; y</a>"
+    root = parse_document(text).root
+    assert serialize(root) == text
+
+
+def test_builder_helper_shapes():
+    book = element("book", element("title", "T"), year="1999")
+    assert book.attribute("year").text == "1999"
+    assert book.child_elements("title")[0].string_value() == "T"

@@ -1,0 +1,167 @@
+"""XPath parsing and evaluation (document order, dedup, scan stats)."""
+
+import pytest
+
+from repro.errors import XPathError
+from repro.xmldb.document import DocumentStore, ScanStats
+from repro.xmldb.parser import parse_document
+from repro.xpath.ast import (
+    ComparisonPredicate,
+    OpaquePredicate,
+    Path,
+    PathPredicate,
+    Step,
+    NameTest,
+)
+from repro.xpath.evaluator import evaluate_path
+from repro.xpath.parser import parse_path
+
+DOC = """
+<bib>
+  <book year="1994"><title>A</title><author><last>L1</last></author></book>
+  <book year="2000"><title>B</title>
+    <author><last>L2</last></author>
+    <author><last>L1</last></author>
+  </book>
+  <book year="1990"><title>C</title><editor><last>L3</last></editor></book>
+</bib>
+"""
+
+
+@pytest.fixture
+def store():
+    s = DocumentStore()
+    s.register_text("bib.xml", DOC)
+    return s
+
+
+@pytest.fixture
+def root(store):
+    return store.get("bib.xml").root
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def test_parse_descendant_child():
+    path = parse_path("//book/title")
+    assert path.absolute
+    assert [s.axis for s in path.steps] == ["descendant", "child"]
+    assert str(path) == "//book/title"
+
+
+def test_parse_attribute_step():
+    path = parse_path("book/@year")
+    assert path.steps[1].axis == "attribute"
+
+
+def test_parse_predicates():
+    path = parse_path("book[author]")
+    assert isinstance(path.steps[0].predicates[0], PathPredicate)
+    path = parse_path("book[@year > 1993]")
+    pred = path.steps[0].predicates[0]
+    assert isinstance(pred, ComparisonPredicate)
+    assert pred.op == ">"
+    assert pred.value == 1993
+
+
+def test_parse_string_literal_predicate():
+    path = parse_path("entry[title = 'A']")
+    pred = path.steps[0].predicates[0]
+    assert pred.value == "A"
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(XPathError):
+        parse_path("//")
+    with pytest.raises(XPathError):
+        parse_path("a[b =]")
+    with pytest.raises(XPathError):
+        parse_path("")
+
+
+def test_simple_steps_conversion():
+    assert parse_path("//book/title").simple_steps() == [
+        ("descendant", "book"), ("child", "title")]
+    assert parse_path("//*").simple_steps() is None
+
+
+# ----------------------------------------------------------------------
+# Evaluator
+# ----------------------------------------------------------------------
+def test_descendant_finds_all(root):
+    books = evaluate_path(root, parse_path("//book"))
+    assert len(books) == 3
+
+
+def test_child_step(root):
+    titles = evaluate_path(root, parse_path("book/title"))
+    assert [t.string_value() for t in titles] == ["A", "B", "C"]
+
+
+def test_document_order_and_dedup(root):
+    # //author from multiple contexts must not duplicate or reorder.
+    books = evaluate_path(root, parse_path("//book"))
+    authors = evaluate_path(books + books, parse_path("author"))
+    assert [a.string_value() for a in authors] == ["L1", "L2", "L1"]
+
+
+def test_attribute_axis(root):
+    years = evaluate_path(root, parse_path("//book/@year"))
+    assert [y.string_value() for y in years] == ["1994", "2000", "1990"]
+
+
+def test_path_predicate(root):
+    with_authors = evaluate_path(root, parse_path("//book[author]"))
+    assert len(with_authors) == 2
+
+
+def test_comparison_predicate_numeric(root):
+    recent = evaluate_path(root, parse_path("//book[@year > 1993]"))
+    assert len(recent) == 2
+
+
+def test_comparison_predicate_string(root):
+    named = evaluate_path(root, parse_path("//book[title = 'B']"))
+    assert len(named) == 1
+    assert named[0].attribute("year").text == "2000"
+
+
+def test_text_test(root):
+    texts = evaluate_path(root, parse_path("//title/text()"))
+    assert [t.text for t in texts] == ["A", "B", "C"]
+
+
+def test_wildcard(root):
+    children = evaluate_path(root, parse_path("book/*"))
+    names = {c.name for c in children}
+    assert names == {"title", "author", "editor"}
+
+
+def test_opaque_predicate_raises(root):
+    path = Path((Step("descendant", NameTest("book"),
+                      (OpaquePredicate("$x = 1"),)),), absolute=True)
+    with pytest.raises(XPathError):
+        evaluate_path(root, path)
+
+
+def test_scan_stats_descendant(root, store):
+    stats = ScanStats()
+    evaluate_path(root, parse_path("//book"), stats=stats)
+    assert stats.document_scans == {"bib.xml": 1}
+    evaluate_path(root, parse_path("//book"), stats=stats)
+    assert stats.document_scans == {"bib.xml": 2}
+
+
+def test_scan_stats_child_from_root(root):
+    stats = ScanStats()
+    evaluate_path(root, parse_path("book"), stats=stats)
+    assert stats.document_scans == {"bib.xml": 1}
+
+
+def test_inner_child_steps_not_scans(root):
+    stats = ScanStats()
+    books = evaluate_path(root, parse_path("//book"), stats=stats)
+    evaluate_path(books, parse_path("title"), stats=stats)
+    assert stats.total_scans == 1  # only the descendant walk
+    assert stats.node_visits > 0

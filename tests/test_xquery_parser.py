@@ -1,0 +1,158 @@
+"""XQuery parser unit tests."""
+
+import pytest
+
+from repro.errors import XQueryParseError
+from repro.xquery import ast
+from repro.xquery.parser import parse_xquery
+
+
+def test_let_for_return():
+    q = parse_xquery('let $d := doc("b.xml") for $x in $d//a return $x')
+    assert isinstance(q, ast.FLWR)
+    assert isinstance(q.clauses[0], ast.LetClause)
+    assert isinstance(q.clauses[0].expr, ast.DocCall)
+    assert isinstance(q.clauses[1], ast.ForClause)
+    assert q.where is None
+    assert q.ret == ast.VarRef("x")
+
+
+def test_multiple_for_bindings():
+    q = parse_xquery("for $a in $x//p, $b in $a/q return $b")
+    assert len(q.clauses) == 2
+    assert q.clauses[1].var == "b"
+
+
+def test_where_comparison():
+    q = parse_xquery("for $a in $x//p where $a = 3 return $a")
+    assert isinstance(q.where, ast.Comparison)
+    assert q.where.op == "="
+    assert q.where.right == ast.Literal(3)
+
+
+def test_boolean_ops_precedence():
+    q = parse_xquery(
+        "for $a in $x//p where $a = 1 and $a = 2 or $a = 3 return $a")
+    assert isinstance(q.where, ast.BoolOp)
+    assert q.where.op == "or"
+    assert q.where.terms[0].op == "and"
+
+
+def test_quantifier_some():
+    q = parse_xquery(
+        "for $a in $x//p where some $t in $y//q satisfies $a = $t "
+        "return $a")
+    quant = q.where
+    assert isinstance(quant, ast.Quantified)
+    assert quant.kind == "some"
+    assert quant.var == "t"
+
+
+def test_quantifier_every():
+    q = parse_xquery(
+        'for $a in $x//p where every $b in doc("b.xml")//c '
+        "satisfies $b/@y > 1993 return $a")
+    assert q.where.kind == "every"
+    pred = q.where.pred
+    assert isinstance(pred, ast.Comparison)
+    assert pred.left.path.steps[0].axis == "attribute"
+
+
+def test_function_calls():
+    q = parse_xquery("for $a in distinct-values($x//p) "
+                     "where count($a) >= 3 return $a")
+    assert q.clauses[0].source.name == "distinct-values"
+    assert q.where.left == ast.FuncCall("count", (ast.VarRef("a"),))
+    assert q.where.op == ">="
+
+
+def test_doc_and_document_aliases():
+    q1 = parse_xquery('for $x in doc("a.xml")//p return $x')
+    q2 = parse_xquery('for $x in document("a.xml")//p return $x')
+    assert q1.clauses[0].source.source == ast.DocCall("a.xml")
+    assert q2.clauses[0].source.source == ast.DocCall("a.xml")
+
+
+def test_doc_requires_string_literal():
+    with pytest.raises(XQueryParseError):
+        parse_xquery("for $x in doc($v)//p return $x")
+
+
+def test_path_predicate_with_variable_is_opaque():
+    from repro.xpath.ast import OpaquePredicate
+    q = parse_xquery("for $b in $d/book[$a = author] return $b")
+    pred = q.clauses[0].source.path.steps[0].predicates[0]
+    assert isinstance(pred, OpaquePredicate)
+
+
+def test_path_predicate_selfcontained_is_classified():
+    from repro.xpath.ast import ComparisonPredicate
+    q = parse_xquery("for $b in $d/book[@year > 1993] return $b")
+    pred = q.clauses[0].source.path.steps[0].predicates[0]
+    assert isinstance(pred, ComparisonPredicate)
+
+
+def test_element_constructor():
+    q = parse_xquery("for $a in $x//p return <r><v> { $a } </v></r>")
+    ctor = q.ret
+    assert isinstance(ctor, ast.ElementCtor)
+    assert ctor.name == "r"
+    inner = ctor.content[0]
+    assert isinstance(inner, ast.ElementCtor)
+    assert isinstance(inner.content[0], ast.ExprPart)
+
+
+def test_constructor_attribute_with_embedded_expr():
+    q = parse_xquery(
+        'for $t in $x//t return <m title="{ $t }"><p>y</p></m>')
+    name, parts = q.ret.attributes[0]
+    assert name == "title"
+    assert isinstance(parts[0], ast.ExprPart)
+
+
+def test_empty_element_constructor():
+    q = parse_xquery("for $a in $x//p return <done/>")
+    assert q.ret == ast.ElementCtor("done", (), ())
+
+
+def test_comments_are_skipped():
+    q = parse_xquery(
+        "(: header :) for $a in $x//p (: mid :) return $a")
+    assert isinstance(q, ast.FLWR)
+
+
+def test_nested_flwr_in_let():
+    q = parse_xquery(
+        "let $t := (for $b in $x//b return $b) for $a in $x//a return $a")
+    assert isinstance(q.clauses[0].expr, ast.FLWR)
+
+
+def test_parse_error_has_location():
+    with pytest.raises(XQueryParseError) as exc_info:
+        parse_xquery("for $a in return $a")
+    assert exc_info.value.line is not None
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(XQueryParseError):
+        parse_xquery("for $a in $x//p return $a extra")
+
+
+def test_mismatched_constructor_rejected():
+    with pytest.raises(XQueryParseError):
+        parse_xquery("for $a in $x//p return <r></s>")
+
+
+def test_exists_call_in_where():
+    q = parse_xquery(
+        "for $a in $x//p where exists(for $b in $x//q where $a = $b "
+        "return $b) return $a")
+    assert q.where.name == "exists"
+    assert isinstance(q.where.args[0], ast.FLWR)
+
+
+def test_string_roundtrip_smoke():
+    text = 'for $a in distinct-values($d//author) return <r>{ $a }</r>'
+    q = parse_xquery(text)
+    assert "distinct-values" in str(q)
+    assert "<r>" in str(q)
