@@ -29,10 +29,21 @@ from repro.xquery.translate import Translation, translate
 
 
 class Database:
-    """A document store plus execution entry points."""
+    """A document store plus execution entry points.
 
-    def __init__(self):
-        self.store = DocumentStore()
+    ``index_mode`` selects the physical design (see :mod:`repro.index`):
+    ``"off"`` (default) answers every query with document scans, exactly
+    as the paper's experiments do; ``"lazy"`` builds element/path/value
+    indexes on first probe and lets the optimizer plan ``IndexScan``
+    access paths; ``"eager"`` builds them at registration time.
+    """
+
+    def __init__(self, index_mode: str = "off"):
+        self.store = DocumentStore(index_mode=index_mode)
+
+    @property
+    def index_mode(self) -> str:
+        return self.store.indexes.mode
 
     # ------------------------------------------------------------------
     def register_text(self, name: str, text: str,
@@ -47,6 +58,16 @@ class Database:
         :mod:`repro.datagen`)."""
         dtd = parse_dtd(dtd_text) if dtd_text else None
         return self.store.register_tree(name, root, dtd)
+
+    def list_documents(self) -> list[str]:
+        """Names of all registered documents, sorted."""
+        return self.store.names()
+
+    def unregister(self, name: str) -> None:
+        """Remove a document and its indexes from the store (so
+        long-lived processes can rotate documents without leaking
+        memory).  Plans compiled against the document become invalid."""
+        self.store.unregister(name)
 
     # ------------------------------------------------------------------
     def execute(self, plan: Operator, mode: str = "physical",

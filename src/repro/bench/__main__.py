@@ -38,13 +38,40 @@ def main(argv: list[str] | None = None) -> int:
                         help="document generator seed")
     parser.add_argument("--no-paper", action="store_true",
                         help="omit the paper-reported reference numbers")
+    parser.add_argument("--json", metavar="OUT",
+                        help="additionally measure every cell and write "
+                             "machine-readable JSON results to OUT")
     args = parser.parse_args(argv)
 
+    if args.json:
+        # Fail before measuring, not after: a bad output path should
+        # not cost a full benchmark run.  The probe must not leave an
+        # empty file behind if the run is later interrupted.
+        import os
+        try:
+            existed = os.path.exists(args.json)
+            with open(args.json, "a", encoding="utf-8"):
+                pass
+            if not existed:
+                os.unlink(args.json)
+        except OSError as exc:
+            parser.error(f"cannot write --json output: {exc}")
+
     keys = tuple(args.query) if args.query else None
+    collected: dict | None = {} if args.json else None
     report = all_tables(sizes=tuple(args.sizes), repeat=args.repeat,
                         keys=keys, include_paper=not args.no_paper,
-                        seed=args.seed)
+                        seed=args.seed, collect=collected)
     print(report)
+    if args.json:
+        # The JSON payload reuses the measurement pass that produced
+        # the printed tables — nothing is measured twice.
+        from repro.bench.harness import measurements_to_json, write_json
+        payload = measurements_to_json(collected, meta={
+            "sizes": list(args.sizes), "repeat": args.repeat,
+            "seed": args.seed})
+        write_json(args.json, payload)
+        print(f"JSON results written to {args.json}")
     return 0
 
 

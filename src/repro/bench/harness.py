@@ -1,8 +1,15 @@
 """Measurement harness: run every plan variant of a paper query and
-collect times, scan counts and outputs."""
+collect times, scan counts and outputs.
+
+Besides the human-readable tables of :mod:`repro.bench.tables`, the
+harness can serialize measurements as JSON (``python -m repro.bench
+--json out.json``) so successive PRs can track a machine-readable
+``BENCH_*.json`` performance trajectory instead of diffing prose.
+"""
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass
 
@@ -17,10 +24,29 @@ class MeasuredPlan:
     seconds: float
     document_scans: dict[str, int]
     output: str
+    index_probes: dict[str, int] | None = None
 
     @property
     def total_scans(self) -> int:
         return sum(self.document_scans.values())
+
+    @property
+    def total_probes(self) -> int:
+        return sum((self.index_probes or {}).values())
+
+    def to_record(self) -> dict:
+        """A JSON-serializable summary (the output text is reduced to
+        its length — results can be megabytes)."""
+        return {
+            "label": self.label,
+            "applied": list(self.applied),
+            "seconds": self.seconds,
+            "document_scans": dict(self.document_scans),
+            "total_scans": self.total_scans,
+            "index_probes": dict(self.index_probes or {}),
+            "total_probes": self.total_probes,
+            "output_chars": len(self.output),
+        }
 
 
 def measure_query(key: str, repeat: int = 1,
@@ -44,7 +70,8 @@ def measure_query(key: str, repeat: int = 1,
         assert result is not None
         measured.append(MeasuredPlan(label, alt.applied, best,
                                      result.stats["document_scans"],
-                                     result.output))
+                                     result.output,
+                                     result.stats.get("index_probes")))
     return measured
 
 
@@ -56,3 +83,38 @@ def time_plan(db: Database, plan, repeat: int = 1) -> float:
         db.execute(plan)
         best = min(best, time.perf_counter() - start)
     return best
+
+
+# ----------------------------------------------------------------------
+# Machine-readable results
+# ----------------------------------------------------------------------
+def measurements_to_json(measurements: dict, meta: dict | None = None
+                         ) -> dict:
+    """Convert ``{key: {param-tuple-or-str: [MeasuredPlan, ...]}}`` (or
+    ``{key: [MeasuredPlan, ...]}``) into a JSON-serializable payload.
+
+    The measurement pass that fills the shape is
+    :func:`repro.bench.tables.all_tables` with ``collect=`` (what the
+    CLI's ``--json`` uses) or a :meth:`~repro.bench.tables.QueryTable.
+    to_measurements` call — one pass feeds both report and JSON."""
+    queries: dict[str, list] = {}
+    for key, per_query in measurements.items():
+        records: list[dict] = []
+        if isinstance(per_query, dict):
+            for params, plans in per_query.items():
+                for plan in plans:
+                    record = plan.to_record()
+                    record["params"] = params if isinstance(params, (
+                        str, int)) else list(params)
+                    records.append(record)
+        else:
+            records.extend(p.to_record() for p in per_query)
+        queries[key] = records
+    return {"schema": "repro-bench/1", "meta": meta or {},
+            "queries": queries}
+
+
+def write_json(path: str, payload: dict) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -229,3 +229,9 @@ PAPER_QUERIES: dict[str, PaperQuery] = {
 def make_database(key: str, **params) -> Database:
     """Build the database for one of the paper's queries."""
     return PAPER_QUERIES[key].build_db(**params)
+
+
+def size_keyword(key: str) -> str:
+    """The builder parameter a query's size axis scales (q6 counts
+    bids, everything else books)."""
+    return "bids" if key == "q6" else "books"

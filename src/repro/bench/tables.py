@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.bench.harness import MeasuredPlan, measure_query
-from repro.bench.queries import PAPER_QUERIES
+from repro.bench.queries import PAPER_QUERIES, size_keyword
 from repro.datagen import (
     generate_bib,
     generate_bids,
@@ -163,6 +163,20 @@ class QueryTable:
             lines.append(line)
         return "\n".join(lines)
 
+    def to_measurements(self) -> dict[str, list[MeasuredPlan]]:
+        """The table's cells keyed by parameter string, the shape
+        :func:`repro.bench.harness.measurements_to_json` serializes —
+        so one measurement pass feeds both the text report and JSON."""
+        size_kw = size_keyword(self.key)
+        out: dict[str, list[MeasuredPlan]] = {}
+        for (_, extra), plans in self.rows.items():
+            for n, plan in zip(self.sizes, plans):
+                params = f"{size_kw}={n}"
+                if self.extra_param is not None:
+                    params += f",{self.extra_param}={extra}"
+                out.setdefault(params, []).append(plan)
+        return out
+
 
 def query_table(key: str, sizes: tuple[int, ...] = SMALL_SIZES,
                 repeat: int = 1, seed: int = 7) -> QueryTable:
@@ -186,7 +200,7 @@ def query_table(key: str, sizes: tuple[int, ...] = SMALL_SIZES,
         return QueryTable(key, spec.section, spec.title, sizes,
                           "authors", rows)
 
-    size_kw = "bids" if key == "q6" else "books"
+    size_kw = size_keyword(key)
     for label in spec.plan_labels:
         cells = []
         for n in sizes:
@@ -216,19 +230,27 @@ def paper_table_string(key: str) -> str:
 def all_tables(sizes: tuple[int, ...] = SMALL_SIZES, repeat: int = 1,
                keys: tuple[str, ...] | None = None,
                include_paper: bool = True,
-               seed: int = 7) -> str:
-    """Every §5 table (and Fig. 6), measured and formatted."""
+               seed: int = 7, collect: dict | None = None) -> str:
+    """Every §5 table (and Fig. 6), measured and formatted.
+
+    When ``collect`` is a dict it receives the underlying
+    :class:`~repro.bench.harness.MeasuredPlan` cells keyed by query —
+    the same single measurement pass that produced the text report,
+    ready for :func:`~repro.bench.harness.measurements_to_json`.
+    """
     chosen = keys if keys is not None else tuple(PAPER_QUERIES)
     parts = ["== Fig. 6: document sizes ==",
              document_size_table((sizes[0], sizes[-1]), seed=seed), ""]
     for key in chosen:
         if key == "q1_dblp":
             # DBLP experiment has its own scale (books+articles).
-            parts.append(dblp_table(seed=seed))
+            parts.append(dblp_table(seed=seed, collect=collect))
             parts.append("")
             continue
         table = query_table(key, sizes=sizes, repeat=repeat, seed=seed)
         parts.append(table.to_string())
+        if collect is not None:
+            collect[key] = table.to_measurements()
         if include_paper:
             parts.append(paper_table_string(key))
         parts.append("")
@@ -236,7 +258,7 @@ def all_tables(sizes: tuple[int, ...] = SMALL_SIZES, repeat: int = 1,
 
 
 def dblp_table(books: int = 100, articles: int = 300, repeat: int = 1,
-               seed: int = 7) -> str:
+               seed: int = 7, collect: dict | None = None) -> str:
     """§5.1's DBLP paragraph: on a document where some authors have no
     book, Eqv. 5 (grouping) is inapplicable and the optimizer must fall
     back to the outer-join plan; the nested plan is still catastrophic.
@@ -244,6 +266,9 @@ def dblp_table(books: int = 100, articles: int = 300, repeat: int = 1,
     spec = PAPER_QUERIES["q1_dblp"]
     plans = measure_query("q1_dblp", repeat=repeat, books=books,
                           articles=articles, seed=seed)
+    if collect is not None:
+        collect["q1_dblp"] = {
+            f"books={books},articles={articles}": plans}
     lines = [f"== §{spec.section}: {spec.title} "
              f"(books={books}, articles={articles}) =="]
     for p in plans:

@@ -32,6 +32,7 @@ from repro.nal.join_ops import AntiJoin, Cross, Join, OuterJoin, SemiJoin
 from repro.nal.scalar import AttrRef, Comparison, ScalarExpr, conjuncts
 from repro.nal.unary_ops import (
     DistinctProject,
+    IndexScan,
     Map,
     Project,
     ProjectAway,
@@ -133,6 +134,13 @@ def _singleton(plan: Singleton, ctx, env: Tup) -> list[Tup]:
 
 def _table(plan: Table, ctx, env: Tup) -> list[Tup]:
     return list(plan.rows)
+
+
+def _index_scan(plan: IndexScan, ctx, env: Tup) -> list[Tup]:
+    # Probing is the same algorithm in both execution modes; the index
+    # already holds its node lists in document order.
+    nodes = ctx.store.indexes.probe(plan.probe, ctx.stats)
+    return [Tup({plan.attr: node}) for node in nodes]
 
 
 def _select(plan: Select, ctx, env: Tup) -> list[Tup]:
@@ -383,6 +391,7 @@ def _group_construct(plan: GroupConstruct, ctx, env: Tup) -> list[Tup]:
 _DISPATCH = {
     Singleton: _singleton,
     Table: _table,
+    IndexScan: _index_scan,
     Select: _select,
     Project: _project,
     ProjectAway: _project_away,

@@ -1,0 +1,40 @@
+"""Structural and value indexes over registered documents.
+
+The paper's experiments presuppose an engine with real access paths;
+this package provides them:
+
+- :class:`~repro.index.structural.ElementIndex` — tag name →
+  document-order element list (``//tag`` without a scan);
+- :class:`~repro.index.structural.PathIndex` — a DataGuide mapping
+  root-to-node tag paths to node lists, validated against the DTD when
+  one is present;
+- :class:`~repro.index.value.ValueIndex` — sorted (path, typed value)
+  structures answering equality and range probes under the engine's
+  comparison coercion rule;
+- :class:`~repro.index.manager.IndexManager` — per-store lifecycle
+  (off/lazy/eager), probing and scan accounting.
+
+Plans consult indexes through the :class:`~repro.nal.unary_ops.
+IndexScan` leaf operator carrying an :class:`~repro.index.probes.
+IndexProbe`; the optimizer pass in :mod:`repro.optimizer.access_paths`
+decides, with the cost model, when a scan becomes a probe.
+"""
+
+from repro.index.manager import (
+    DocumentIndexes,
+    IndexManager,
+    build_indexes,
+)
+from repro.index.probes import IndexProbe
+from repro.index.structural import ElementIndex, PathIndex
+from repro.index.value import ValueIndex
+
+__all__ = [
+    "DocumentIndexes",
+    "IndexManager",
+    "IndexProbe",
+    "ElementIndex",
+    "PathIndex",
+    "ValueIndex",
+    "build_indexes",
+]

@@ -1,0 +1,186 @@
+"""The per-store index manager.
+
+:class:`~repro.xmldb.document.DocumentStore` owns one
+:class:`IndexManager`.  Its ``mode`` is the store's physical-design
+switch:
+
+- ``"off"`` — no indexes; the optimizer never emits ``IndexScan`` plans
+  (the seed behaviour, and the right setting for reproducing the
+  paper's scan-count tables);
+- ``"lazy"`` — indexes are built on first probe (including the
+  planning-time cardinality estimates of the cost model);
+- ``"eager"`` — indexes are built when a document is registered.
+
+Probes are answered here so that scan accounting stays in one place:
+every probe records one ``index_probe`` for its document plus one node
+visit per result node — the index-side counterpart of the document-scan
+counters the paper's argument is phrased in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EvaluationError
+from repro.index.probes import IndexProbe
+from repro.index.structural import ElementIndex, PathIndex, TagPath
+from repro.index.value import ValueIndex
+from repro.xmldb.node import Node
+
+MODES = ("off", "lazy", "eager")
+
+
+@dataclass
+class DocumentIndexes:
+    """All indexes of one document, built in a single pass."""
+
+    element: ElementIndex
+    path: PathIndex
+    value: ValueIndex
+    #: DataGuide paths the document's DTD does not license (empty when
+    #: consistent or when the document has no DTD)
+    dtd_violations: tuple[TagPath, ...]
+
+
+def build_indexes(document) -> DocumentIndexes:
+    """Build element/path/value indexes for a registered document."""
+    root = document.root
+    path_index = PathIndex(root)
+    violations: tuple[TagPath, ...] = ()
+    if document.dtd is not None:
+        violations = path_index.validate_against_dtd(document.dtd)
+    return DocumentIndexes(ElementIndex(root), path_index,
+                           ValueIndex(root), violations)
+
+
+class IndexManager:
+    """Builds, caches and probes the indexes of one document store."""
+
+    def __init__(self, store, mode: str = "off"):
+        if mode not in MODES:
+            raise ValueError(f"unknown index mode {mode!r}; use one of "
+                             f"{MODES}")
+        self.store = store
+        self.mode = mode
+        self._built: dict[str, DocumentIndexes] = {}
+        self._estimates: dict[IndexProbe, int] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the optimizer may plan index-based access paths."""
+        return self.mode != "off"
+
+    # ------------------------------------------------------------------
+    # Lifecycle (called by the store)
+    # ------------------------------------------------------------------
+    def on_register(self, document) -> None:
+        if self.mode == "eager":
+            self._built[document.name] = build_indexes(document)
+
+    def on_unregister(self, name: str) -> None:
+        self._built.pop(name, None)
+        self._estimates = {probe: size for probe, size
+                           in self._estimates.items()
+                           if probe.doc != name}
+
+    def built(self, name: str) -> bool:
+        return name in self._built
+
+    def for_document(self, name: str) -> DocumentIndexes:
+        """The document's indexes, building them if necessary (explicit
+        calls build even under mode="off" — asking is opting in)."""
+        if name not in self._built:
+            self._built[name] = build_indexes(self.store.get(name))
+        return self._built[name]
+
+    def dtd_violations(self, name: str) -> tuple[TagPath, ...]:
+        return self.for_document(name).dtd_violations
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+    def probe(self, probe: IndexProbe, stats=None) -> list[Node]:
+        """Answer a probe; results are in document order.  ``stats``
+        (a :class:`~repro.xmldb.document.ScanStats`) receives one
+        ``index_probe`` plus one visit per result node."""
+        indexes = self.for_document(probe.doc)
+        if probe.kind == "element":
+            nodes = indexes.element.lookup(probe.steps[0][1])
+        elif probe.kind == "path":
+            nodes = indexes.path.lookup(probe.steps)
+        elif probe.kind == "value":
+            nodes = self._value_probe(indexes, probe)
+        else:
+            raise EvaluationError(f"unknown probe kind {probe.kind!r}")
+        if stats is not None:
+            stats.record_probe(probe.doc)
+            stats.record_visits(len(nodes))
+        return nodes
+
+    def _value_probe(self, indexes: DocumentIndexes,
+                     probe: IndexProbe) -> list[Node]:
+        nodes: list[Node] = []
+        for path in indexes.path.matching_paths(probe.steps):
+            if not indexes.value.is_indexed(path):
+                raise EvaluationError(
+                    f"value probe {probe.describe()} matched the "
+                    f"non-atomic path {'/'.join(path)}")
+            nodes.extend(indexes.value.probe(path, probe.op, probe.value))
+        if probe.lift:
+            nodes = _lift(nodes, probe.lift)
+        elif len(nodes) > 1:
+            nodes.sort(key=lambda n: n.order_key)
+        return nodes
+
+    def can_value_probe(self, doc: str, steps) -> bool:
+        """Planning-time eligibility: every concrete path the pattern
+        matches must be value-indexed (atomic)."""
+        if doc not in self.store:
+            return False
+        indexes = self.for_document(doc)
+        return all(indexes.value.is_indexed(path)
+                   for path in indexes.path.matching_paths(tuple(steps)))
+
+    def estimate(self, probe: IndexProbe) -> int:
+        """Planning-time result cardinality, computed from bucket
+        lengths and bisect indices — no node list is materialized,
+        lifted or sorted, so pricing a probe the planner then discards
+        stays cheap.  For lifted value probes the count skips the
+        ancestor dedup (an upper bound, which only overprices the
+        index side).  Memoized per probe; documents are immutable
+        while registered, and the memo holds small ints."""
+        if probe not in self._estimates:
+            if len(self._estimates) >= 4096:   # planning-only cache
+                self._estimates.clear()
+            self._estimates[probe] = self._count(probe)
+        return self._estimates[probe]
+
+    def _count(self, probe: IndexProbe) -> int:
+        indexes = self.for_document(probe.doc)
+        if probe.kind == "element":
+            return len(indexes.element.lookup(probe.steps[0][1]))
+        if probe.kind == "path":
+            return indexes.path.count(probe.steps)
+        if probe.kind == "value":
+            return sum(
+                indexes.value.count(path, probe.op, probe.value)
+                for path in indexes.path.matching_paths(probe.steps))
+        raise EvaluationError(f"unknown probe kind {probe.kind!r}")
+
+
+def _lift(nodes: list[Node], levels: int) -> list[Node]:
+    """Replace each node by its ancestor ``levels`` steps up, dropping
+    duplicates and restoring document order (several qualifying leaves
+    may share one ancestor)."""
+    seen: set[int] = set()
+    lifted: list[Node] = []
+    for node in nodes:
+        for _ in range(levels):
+            if node.parent is None:
+                break
+            node = node.parent
+        if id(node) not in seen:
+            seen.add(id(node))
+            lifted.append(node)
+    lifted.sort(key=lambda n: n.order_key)
+    return lifted

@@ -1,0 +1,162 @@
+"""Structural indexes: element index and path index (DataGuide).
+
+Both are built in one pre-order walk over a document, so every node list
+they store is in document order — a probe returns its result without
+sorting, which is what lets :class:`~repro.nal.unary_ops.IndexScan`
+replace a document scan without an order-restoring sort (the paper's
+Natix pays that sort after its Grace hash join; our order-preserving
+structures avoid it the same way the order-preserving hash join does).
+
+- :class:`ElementIndex` maps a tag name to the document-order list of
+  elements carrying it.
+- :class:`PathIndex` is a DataGuide: it maps every *root-to-node tag
+  path* occurring in the document (attributes appear as a trailing
+  ``@name`` component) to the document-order list of nodes reached by
+  it.  Patterns with ``descendant`` steps are answered by matching the
+  pattern against the stored paths — the set of distinct paths is tiny
+  compared to the document (bounded by the DTD, not the data).
+
+When the document has a DTD, :meth:`PathIndex.validate_against_dtd`
+cross-checks every stored path against the declared content models; a
+non-empty result means the document disagrees with its schema, which
+would silently invalidate the optimizer's schema-based side conditions.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.xmldb.dtd import DTD
+from repro.xmldb.node import Node, NodeKind
+
+#: a concrete root-to-node tag path, e.g. ("items", "itemtuple", "@id")
+TagPath = tuple[str, ...]
+
+
+def walk_with_paths(root: Node):
+    """Pre-order iterator ``(node, tag_path)`` over the elements and
+    attribute nodes of a tree.  The order of iteration is document order
+    (attributes immediately after their owner, as ``assign_order_keys``
+    numbers them); text nodes carry no name and are skipped."""
+
+    def visit(node: Node, path: TagPath):
+        yield node, path
+        for attr in node.attributes:
+            yield attr, path + (f"@{attr.name}",)
+        for child in node.children:
+            if child.kind is NodeKind.ELEMENT:
+                yield from visit(child, path + (child.name,))
+
+    yield from visit(root, (root.name,))
+
+
+class ElementIndex:
+    """Tag name → document-order list of elements with that tag."""
+
+    def __init__(self, root: Node):
+        self.root = root
+        self._by_tag: dict[str, list[Node]] = {}
+        for node, _ in walk_with_paths(root):
+            if node.kind is NodeKind.ELEMENT:
+                self._by_tag.setdefault(node.name, []).append(node)
+
+    def lookup(self, tag: str, include_root: bool = False) -> list[Node]:
+        """All ``tag`` elements in document order.  By default the root
+        element is excluded, matching the ``//tag`` (descendant-from-
+        root) semantics the access-path pass rewrites."""
+        nodes = self._by_tag.get(tag, [])
+        if not include_root and nodes and nodes[0] is self.root:
+            return nodes[1:]
+        return list(nodes)
+
+    def count(self, tag: str) -> int:
+        return len(self._by_tag.get(tag, ()))
+
+    def tags(self) -> list[str]:
+        return sorted(self._by_tag)
+
+
+class PathIndex:
+    """DataGuide: root-to-node tag path → document-order node list."""
+
+    def __init__(self, root: Node):
+        self._by_path: dict[TagPath, list[Node]] = {}
+        for node, path in walk_with_paths(root):
+            self._by_path.setdefault(path, []).append(node)
+        # Pattern matching is memoized per (pattern, path); the distinct
+        # path set is small and patterns repeat across probes.
+        self._match = lru_cache(maxsize=4096)(_pattern_matches)
+
+    def paths(self) -> list[TagPath]:
+        return sorted(self._by_path)
+
+    def nodes_at(self, path: TagPath) -> list[Node]:
+        return list(self._by_path.get(path, ()))
+
+    def matching_paths(self, steps: tuple[tuple[str, str], ...]
+                       ) -> list[TagPath]:
+        """The stored paths matched by a simple-step pattern.  Matching
+        starts *below* the root component (patterns describe navigation
+        from the document root, as plans' paths do)."""
+        return [path for path in sorted(self._by_path)
+                if self._match(steps, path)]
+
+    def lookup(self, steps: tuple[tuple[str, str], ...]) -> list[Node]:
+        """All nodes whose tag path matches the pattern, merged into
+        document order."""
+        matched = self.matching_paths(steps)
+        if len(matched) == 1:
+            return list(self._by_path[matched[0]])
+        nodes: list[Node] = []
+        for path in matched:
+            nodes.extend(self._by_path[path])
+        nodes.sort(key=lambda n: n.order_key)
+        return nodes
+
+    def count(self, steps: tuple[tuple[str, str], ...]) -> int:
+        """Cardinality of :meth:`lookup` without the merge and sort."""
+        return sum(len(self._by_path[path])
+                   for path in self.matching_paths(steps))
+
+    # ------------------------------------------------------------------
+    def validate_against_dtd(self, dtd: DTD) -> tuple[TagPath, ...]:
+        """Stored paths the DTD does not license (empty = consistent).
+
+        Checked per path: the leaf element must be declared and allowed
+        as a child of its parent's content model; attribute components
+        must appear in the parent's ATTLIST."""
+        violations: list[TagPath] = []
+        for path in self.paths():
+            leaf = path[-1]
+            if leaf.startswith("@"):
+                owner = path[-2] if len(path) > 1 else ""
+                if leaf[1:] not in dtd.attributes.get(owner, {}):
+                    violations.append(path)
+            elif len(path) == 1:
+                if path[0] not in dtd.elements:
+                    violations.append(path)
+            elif leaf not in dtd.elements \
+                    or leaf not in dtd.child_tags(path[-2]):
+                violations.append(path)
+        return tuple(violations)
+
+
+def _pattern_matches(steps: tuple[tuple[str, str], ...],
+                     path: TagPath) -> bool:
+    """Does the simple-step pattern, anchored at the root (component 0),
+    consume the path exactly?  ``child``/``attribute`` steps consume one
+    component; a ``descendant`` step may skip any number first."""
+    return _match_from(steps, path, 0, 1)
+
+
+def _match_from(steps, path, si, pi) -> bool:
+    if si == len(steps):
+        return pi == len(path)
+    axis, name = steps[si]
+    if axis == "descendant":
+        return any(path[j] == name and _match_from(steps, path, si + 1,
+                                                   j + 1)
+                   for j in range(pi, len(path)))
+    want = f"@{name}" if axis == "attribute" else name
+    return pi < len(path) and path[pi] == want \
+        and _match_from(steps, path, si + 1, pi + 1)

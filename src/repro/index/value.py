@@ -1,0 +1,217 @@
+"""Sorted value index: (tag path, typed atomic value) → node lists.
+
+Indexed entries are the *atomic* nodes of a document — attribute nodes
+and elements without element children — keyed by their string value
+under the engine's documented coercion rule (see
+:mod:`repro.nal.values`): two atomized values compare numerically when
+both parse as numbers, as strings otherwise.  A probe must return
+exactly the nodes a scan-and-compare would keep, so the index maintains
+three sorted views per path:
+
+- ``by_key`` — canonical-key buckets for equality probes (consistent
+  with :func:`~repro.nal.values.canonical_key` by construction);
+- a numeric array (entries whose text parses as a number, sorted by
+  numeric value) and a non-numeric array (sorted by raw text): a range
+  probe against a *numeric* constant bisects the numeric array and
+  string-compares the non-numeric one, which is precisely what
+  ``compare_atomic`` does pairwise;
+- an all-text array (every entry sorted by raw text) for range probes
+  against a *non-numeric* constant, where ``compare_atomic`` falls back
+  to string comparison for every pair.
+
+Differential tests (``tests/test_index_differential.py``) assert probe
+results are byte-identical to scan plans across randomized documents.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right
+from typing import Any
+
+from repro.errors import EvaluationError
+from repro.index.structural import TagPath, walk_with_paths
+from repro.nal.values import _as_number, canonical_key
+from repro.xmldb.node import Node, NodeKind
+
+RANGE_OPS = ("<", "<=", ">", ">=")
+
+
+class _PathValues:
+    """The sorted structures for one tag path."""
+
+    __slots__ = ("by_key", "num_keys", "num_nodes", "text_keys",
+                 "text_nodes", "all_keys", "all_nodes")
+
+    def __init__(self, entries: list[tuple[str, Node]]):
+        # NaN-parsing texts ("nan") compare false against every number
+        # under compare_atomic, and a NaN sort key would leave the
+        # bisect arrays unsorted — keep them out of the numeric views
+        # and the equality buckets entirely (they stay in the all-text
+        # array, where string-typed constants do reach them).
+        self.by_key: dict[Any, list[Node]] = {}
+        for text, node in entries:
+            if not _is_nan_text(text):
+                self.by_key.setdefault(canonical_key(text),
+                                       []).append(node)
+        numeric = [(n, t, node) for t, node in entries
+                   if (n := _as_number(t)) is not None
+                   and not math.isnan(n)]
+        numeric.sort(key=lambda e: (e[0], e[2].order_key))
+        self.num_keys = [e[0] for e in numeric]
+        self.num_nodes = [e[2] for e in numeric]
+        textual = [(t, node) for t, node in entries
+                   if _as_number(t) is None]
+        textual.sort(key=lambda e: (e[0], e[1].order_key))
+        self.text_keys = [e[0] for e in textual]
+        self.text_nodes = [e[1] for e in textual]
+        everything = sorted(entries, key=lambda e: (e[0], e[1].order_key))
+        self.all_keys = [e[0] for e in everything]
+        self.all_nodes = [e[1] for e in everything]
+
+    def __len__(self) -> int:
+        return len(self.all_keys)
+
+
+def _is_atomic(node: Node) -> bool:
+    """Indexable nodes: attributes, and elements with no element
+    children (their string value is their own text, not a concatenation
+    of a subtree)."""
+    if node.kind is NodeKind.ATTRIBUTE:
+        return True
+    return node.kind is NodeKind.ELEMENT and \
+        not any(c.kind is NodeKind.ELEMENT for c in node.children)
+
+
+class ValueIndex:
+    """Per-document value index over every atomic tag path."""
+
+    def __init__(self, root: Node):
+        grouped: dict[TagPath, list[tuple[str, Node]]] = {}
+        non_atomic: set[TagPath] = set()
+        for node, path in walk_with_paths(root):
+            if _is_atomic(node):
+                grouped.setdefault(path, []).append(
+                    (node.string_value(), node))
+            else:
+                non_atomic.add(path)
+        # A path is value-indexed only if *every* node at it is atomic;
+        # mixed paths cannot answer probes exactly.
+        self._values: dict[TagPath, _PathValues] = {
+            path: _PathValues(entries)
+            for path, entries in grouped.items()
+            if path not in non_atomic}
+
+    def paths(self) -> list[TagPath]:
+        return sorted(self._values)
+
+    def is_indexed(self, path: TagPath) -> bool:
+        return path in self._values
+
+    def entry_count(self, path: TagPath) -> int:
+        values = self._values.get(path)
+        return 0 if values is None else len(values)
+
+    def distinct_count(self, path: TagPath) -> int:
+        values = self._values.get(path)
+        return 0 if values is None else len(values.by_key)
+
+    # ------------------------------------------------------------------
+    def probe(self, path: TagPath, op: str, value: Any) -> list[Node]:
+        """Nodes at ``path`` whose value satisfies ``value'' θ value``
+        under the engine's coercion rule, in document order."""
+        if isinstance(value, bool):
+            raise EvaluationError(
+                "value probes do not support boolean constants")
+        if not isinstance(value, (int, float, str)):
+            raise EvaluationError(
+                f"value probes require an atomic constant; got {value!r}")
+        values = self._values.get(path)
+        if values is None:
+            return []
+        if op == "=":
+            nodes = list(values.by_key.get(canonical_key(value), ()))
+            nodes.sort(key=lambda n: n.order_key)
+            return nodes
+        if op not in RANGE_OPS:
+            raise EvaluationError(
+                f"value probes support = and ranges; got {op!r}")
+        number = _as_number(value)
+        if number is None:
+            # Non-numeric constant: every pair compares as strings.
+            nodes = _bisect(values.all_keys, values.all_nodes, op,
+                            str(value))
+        elif math.isnan(number):
+            # A NaN constant compares false against every numeric
+            # entry; only the string fallback of non-numeric entries
+            # (text θ "nan") can still match.
+            nodes = _bisect(values.text_keys, values.text_nodes, op,
+                            str(value))
+        else:
+            # Numeric constant: numeric entries compare numerically,
+            # non-numeric entries fall back to string comparison
+            # against the constant's string form.
+            nodes = _bisect(values.num_keys, values.num_nodes, op, number)
+            nodes += _bisect(values.text_keys, values.text_nodes, op,
+                             str(value))
+        nodes.sort(key=lambda n: n.order_key)
+        return nodes
+
+    def count(self, path: TagPath, op: str, value: Any) -> int:
+        """Cardinality of :meth:`probe` without materializing nodes —
+        bucket lengths and bisect index arithmetic only (used by the
+        planner, which prices many probes it will discard)."""
+        if isinstance(value, bool) or \
+                not isinstance(value, (int, float, str)):
+            raise EvaluationError(
+                f"value probes require an atomic constant; got {value!r}")
+        values = self._values.get(path)
+        if values is None:
+            return 0
+        if op == "=":
+            return len(values.by_key.get(canonical_key(value), ()))
+        if op not in RANGE_OPS:
+            raise EvaluationError(
+                f"value probes support = and ranges; got {op!r}")
+        number = _as_number(value)
+        if number is None:
+            return _bisect_count(values.all_keys, op, str(value))
+        if math.isnan(number):
+            return _bisect_count(values.text_keys, op, str(value))
+        return _bisect_count(values.num_keys, op, number) + \
+            _bisect_count(values.text_keys, op, str(value))
+
+    def probe_range(self, path: TagPath, low: Any, high: Any,
+                    low_inclusive: bool = True,
+                    high_inclusive: bool = True) -> list[Node]:
+        """Convenience conjunction ``low θ value θ high`` (one sorted
+        intersection instead of two probes)."""
+        lower = self.probe(path, ">=" if low_inclusive else ">", low)
+        upper = set(id(n) for n in self.probe(
+            path, "<=" if high_inclusive else "<", high))
+        return [n for n in lower if id(n) in upper]
+
+
+def _is_nan_text(text: str) -> bool:
+    number = _as_number(text)
+    return number is not None and math.isnan(number)
+
+
+def _bisect(keys: list, nodes: list[Node], op: str, bound) -> list[Node]:
+    if op == "<":
+        return nodes[:bisect_left(keys, bound)]
+    if op == "<=":
+        return nodes[:bisect_right(keys, bound)]
+    if op == ">":
+        return nodes[bisect_right(keys, bound):]
+    return nodes[bisect_left(keys, bound):]
+
+
+def _bisect_count(keys: list, op: str, bound) -> int:
+    if op == "<":
+        return bisect_left(keys, bound)
+    if op == "<=":
+        return bisect_right(keys, bound)
+    if op == ">":
+        return len(keys) - bisect_right(keys, bound)
+    return len(keys) - bisect_left(keys, bound)

@@ -19,6 +19,7 @@ Layout:
 from repro.nal.values import NULL, Tup, EMPTY_TUPLE
 from repro.nal.algebra import Operator
 from repro.nal.unary_ops import (
+    IndexScan,
     Map,
     Project,
     ProjectAway,
@@ -53,6 +54,7 @@ __all__ = [
     "Operator",
     "Singleton",
     "Table",
+    "IndexScan",
     "Select",
     "Project",
     "ProjectAway",

@@ -1,4 +1,5 @@
-"""Leaf and unary NAL operators: □, Table, σ, Π variants, χ, Υ, µ, Sort."""
+"""Leaf and unary NAL operators: □, Table, IndexScan, σ, Π variants, χ,
+Υ, µ, Sort."""
 
 from __future__ import annotations
 
@@ -72,6 +73,40 @@ class Table(Operator):
 
     def label(self) -> str:
         return f"Table({self.name})"
+
+
+class IndexScan(Operator):
+    """A leaf that answers a path/value pattern from the document
+    store's indexes instead of walking the document.
+
+    It emits one single-attribute tuple per matching node, in document
+    order — exactly the sequence the equivalent Υ-over-scan produces —
+    and charges ``index_probes`` (not ``document_scans``) to the stats.
+    The access-path pass of :mod:`repro.optimizer.access_paths`
+    introduces it where the cost model prefers a probe over a scan.
+    """
+
+    def __init__(self, attr: str, probe):
+        self.attr = attr
+        #: an :class:`repro.index.probes.IndexProbe`
+        self.probe = probe
+        self.children = ()
+
+    def attrs(self) -> frozenset[str]:
+        return frozenset({self.attr})
+
+    def params(self) -> tuple:
+        return (self.attr, self.probe)
+
+    def rebuild(self, children: tuple) -> "IndexScan":
+        return IndexScan(self.attr, self.probe)
+
+    def evaluate(self, ctx, env: Tup = EMPTY_TUPLE) -> list[Tup]:
+        nodes = ctx.store.indexes.probe(self.probe, ctx.stats)
+        return [Tup({self.attr: node}) for node in nodes]
+
+    def label(self) -> str:
+        return f"IdxScan[{self.attr}:{self.probe.describe()}]"
 
 
 class Select(Operator):

@@ -11,10 +11,15 @@
   semijoin/antijoin operands, Γ+Ξ fusion into the group-detecting Ξ,
   the §5.4 self-grouping);
 - :mod:`repro.optimizer.rewriter` — the driver that finds nested sites,
-  enumerates applicable rules and returns ranked plan alternatives.
+  enumerates applicable rules and returns ranked plan alternatives;
+- :mod:`repro.optimizer.access_paths` — access-path selection: replaces
+  document scans with :class:`~repro.nal.unary_ops.IndexScan` probes
+  when the store has indexes and the cost model prefers them.
 """
 
+from repro.optimizer.access_paths import apply_access_paths
 from repro.optimizer.provenance import ColumnOrigin, attr_origin
 from repro.optimizer.rewriter import RewriteResult, unnest_plan
 
-__all__ = ["ColumnOrigin", "attr_origin", "RewriteResult", "unnest_plan"]
+__all__ = ["ColumnOrigin", "attr_origin", "RewriteResult", "unnest_plan",
+           "apply_access_paths"]

@@ -40,6 +40,7 @@ from repro.nal.scalar import (
 )
 from repro.nal.unary_ops import (
     DistinctProject,
+    IndexScan,
     Map,
     Project,
     ProjectAway,
@@ -141,6 +142,8 @@ class CostModel:
         if isinstance(op, Table):
             n = float(len(op.rows))
             return PlanCost(n, n)
+        if isinstance(op, IndexScan):
+            return self._index_scan(op)
         if isinstance(op, (Project, ProjectAway, Rename)):
             child = self._plan(op.children[0])
             return PlanCost(child.cardinality,
@@ -183,6 +186,19 @@ class CostModel:
         return PlanCost(card, sum(c.total for c in children) + card)
 
     # ------------------------------------------------------------------
+    def _index_scan(self, op: IndexScan) -> PlanCost:
+        """An index probe pays one descent into the sorted structure
+        plus one unit per result — never the document's element count.
+        Cardinalities come from the index itself (exact, not guessed);
+        building the index under mode="lazy" is part of asking."""
+        probe = op.probe
+        if probe.doc not in self.store:
+            return PlanCost(1.0, 1.0)
+        size = float(self.store.indexes.estimate(probe))
+        descent = math.log2(max(2.0, self.stats.element_count(probe.doc)))
+        return PlanCost(size, descent + size)
+
+    # ------------------------------------------------------------------
     def _select(self, op: Select) -> PlanCost:
         child = self._plan(op.children[0])
         pred = self._scalar(op.pred)
@@ -196,6 +212,10 @@ class CostModel:
         total = child.total + child.cardinality * (1.0 + expr.per_eval)
         if isinstance(op, UnnestMap):
             card = max(1.0, child.cardinality * expr.fanout)
+            # Υ materializes one output tuple per binding; charging it
+            # (as Cross charges its output) keeps scan-vs-probe
+            # comparisons of the access-path pass unbiased.
+            total += card
         else:
             card = child.cardinality
         return PlanCost(card, total)

@@ -61,7 +61,10 @@ class RewriteResult:
     cost: "PlanCost | None" = None
 
     @property
-    def rank(self) -> int:
+    def rank(self) -> float:
+        # An indexed variant ranks just above its scan-based base plan.
+        if self.label.endswith("+index"):
+            return _RANKS.get(self.label[:-len("+index")], 5) - 0.5
         return _RANKS.get(self.label, 5)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -71,7 +74,8 @@ class RewriteResult:
 
 
 def unnest_plan(plan: Operator, store: DocumentStore,
-                ranking: str = "heuristic") -> list[RewriteResult]:
+                ranking: str = "heuristic",
+                access_paths: bool | None = None) -> list[RewriteResult]:
     """All plan alternatives for ``plan``, best first.
 
     ``ranking="heuristic"`` (default) orders by the paper's measured
@@ -80,6 +84,12 @@ def unnest_plan(plan: Operator, store: DocumentStore,
     ``ranking="cost"`` orders by the estimated cost of
     :mod:`repro.optimizer.cost` (ties broken by the heuristic rank, so
     the nested plan never beats an equal-cost rewrite).
+
+    ``access_paths`` controls whether each alternative additionally
+    gets an index-based variant (label suffixed ``+index``, ranked just
+    above its scan-based base) where :mod:`repro.optimizer.
+    access_paths` finds a cheaper probe; the default ``None`` follows
+    the store's ``index_mode`` (off ⇒ scans only).
     """
     if ranking not in ("heuristic", "cost"):
         raise RewriteError(f"unknown ranking {ranking!r}; "
@@ -92,9 +102,25 @@ def unnest_plan(plan: Operator, store: DocumentStore,
             results.append(RewriteResult("group-xi", fused,
                                          applied + ("fuse-xi",)))
         results.append(RewriteResult(label, rewritten, applied))
-    if ranking == "cost":
+    if access_paths is None:
+        access_paths = store.indexes.enabled
+    model = None   # one CostModel (and its tag statistics) for both uses
+    if access_paths:
+        from repro.optimizer.access_paths import apply_access_paths
         from repro.optimizer.cost import CostModel
         model = CostModel(store)
+        indexed: list[RewriteResult] = []
+        for result in results:
+            rewritten = apply_access_paths(result.plan, store, model)
+            if rewritten is not None:
+                indexed.append(RewriteResult(
+                    result.label + "+index", rewritten,
+                    result.applied + ("access-paths",)))
+        results = indexed + results
+    if ranking == "cost":
+        if model is None:
+            from repro.optimizer.cost import CostModel
+            model = CostModel(store)
         for result in results:
             result.cost = model.estimate(result.plan)
         results.sort(key=lambda r: (r.cost.total, r.rank))

@@ -63,15 +63,27 @@ def _iter_attributes(root: Node):
 
 
 class ScanStats:
-    """Mutable counters describing how much work an execution did."""
+    """Mutable counters describing how much work an execution did.
+
+    ``document_scans`` counts full-document walks (what nested plans
+    repeat per outer tuple); ``index_probes`` counts index lookups —
+    the machine-independent evidence that an :class:`~repro.nal.
+    unary_ops.IndexScan` plan did sub-linear work where a scan plan
+    read the whole document.
+    """
 
     def __init__(self):
         self.document_scans: dict[str, int] = {}
+        self.index_probes: dict[str, int] = {}
         self.node_visits: int = 0
 
     def record_scan(self, document_name: str) -> None:
         self.document_scans[document_name] = \
             self.document_scans.get(document_name, 0) + 1
+
+    def record_probe(self, document_name: str) -> None:
+        self.index_probes[document_name] = \
+            self.index_probes.get(document_name, 0) + 1
 
     def record_visits(self, count: int) -> None:
         self.node_visits += count
@@ -80,19 +92,27 @@ class ScanStats:
     def total_scans(self) -> int:
         return sum(self.document_scans.values())
 
+    @property
+    def total_probes(self) -> int:
+        return sum(self.index_probes.values())
+
     def reset(self) -> None:
         self.document_scans.clear()
+        self.index_probes.clear()
         self.node_visits = 0
 
     def snapshot(self) -> dict:
         return {
             "document_scans": dict(self.document_scans),
             "total_scans": self.total_scans,
+            "index_probes": dict(self.index_probes),
+            "total_probes": self.total_probes,
             "node_visits": self.node_visits,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ScanStats scans={self.document_scans} " \
+               f"probes={self.index_probes} " \
                f"visits={self.node_visits}>"
 
 
@@ -102,11 +122,18 @@ class DocumentStore:
     Documents can be registered from text (DTD in the DOCTYPE is picked up
     automatically), from an already-built :class:`Node` tree, or from a
     generator in :mod:`repro.datagen`.
+
+    ``index_mode`` is the store's physical-design switch: ``"off"`` (the
+    default — pure scans, the paper's setting), ``"lazy"`` (indexes built
+    on first probe) or ``"eager"`` (built at registration).  See
+    :mod:`repro.index`.
     """
 
-    def __init__(self):
+    def __init__(self, index_mode: str = "off"):
+        from repro.index.manager import IndexManager
         self._documents: dict[str, Document] = {}
         self.stats = ScanStats()
+        self.indexes = IndexManager(self, index_mode)
 
     # ------------------------------------------------------------------
     # Registration
@@ -140,7 +167,21 @@ class DocumentStore:
             assign_order_keys(root)
         document = Document(name, root, dtd)
         self._documents[name] = document
+        self.indexes.on_register(document)
         return document
+
+    def unregister(self, name: str) -> None:
+        """Remove a document (and its indexes) from the store.
+
+        Long-lived processes can rotate documents in and out without
+        leaking memory; raises :class:`~repro.errors.
+        UnknownDocumentError` for names never registered."""
+        if name not in self._documents:
+            raise UnknownDocumentError(name, list(self._documents))
+        del self._documents[name]
+        self.indexes.on_unregister(name)
+        self.stats.document_scans.pop(name, None)
+        self.stats.index_probes.pop(name, None)
 
     # ------------------------------------------------------------------
     # Lookup

@@ -124,3 +124,62 @@ def test_execution_result_repr(db):
     result = query.run()
     text = repr(result)
     assert "rows=" in text and "elapsed=" in text
+
+
+# ---------------------------------------------------------------------------
+# Store management: list_documents / unregister / index_mode
+# ---------------------------------------------------------------------------
+
+def test_list_documents(db):
+    assert db.list_documents() == ["bib.xml"]
+    db.register_text("a.xml", "<a/>")
+    assert db.list_documents() == ["a.xml", "bib.xml"]
+
+
+def test_unregister_removes_document(db):
+    db.unregister("bib.xml")
+    assert db.list_documents() == []
+    # the name is free again: stores stay append-only per name in use
+    db.register_tree("bib.xml", generate_bib(2, 1, seed=5),
+                     dtd_text=BIB_DTD)
+    assert db.list_documents() == ["bib.xml"]
+
+
+def test_unregister_unknown_raises(db):
+    from repro.errors import UnknownDocumentError
+    with pytest.raises(UnknownDocumentError, match="nope.xml"):
+        db.unregister("nope.xml")
+
+
+def test_unregister_drops_indexes_and_stats():
+    db = Database(index_mode="eager")
+    db.register_tree("bib.xml", generate_bib(4, 2, seed=2),
+                     dtd_text=BIB_DTD)
+    assert db.store.indexes.built("bib.xml")
+    compile_query(SIMPLE, db).run()
+    db.unregister("bib.xml")
+    assert not db.store.indexes.built("bib.xml")
+    assert "bib.xml" not in db.store.stats.document_scans
+    assert "bib.xml" not in db.store.stats.index_probes
+
+
+def test_default_index_mode_is_off(db):
+    assert db.index_mode == "off"
+    assert not db.store.indexes.enabled
+    labels = [p.label for p in compile_query(SIMPLE, db).plans()]
+    assert all(not label.endswith("+index") for label in labels)
+
+
+def test_indexed_database_runs_index_plan():
+    db = Database(index_mode="lazy")
+    db.register_tree("bib.xml", generate_bib(8, 2, seed=2),
+                     dtd_text=BIB_DTD)
+    query = compile_query(SIMPLE, db)
+    assert query.best().label == "nested+index"
+    result = query.run()
+    assert result.stats["total_probes"] >= 1
+    assert result.stats["document_scans"] == {}
+    scan_db = Database()
+    scan_db.register_tree("bib.xml", generate_bib(8, 2, seed=2),
+                          dtd_text=BIB_DTD)
+    assert result.output == compile_query(SIMPLE, scan_db).run().output

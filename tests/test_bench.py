@@ -109,3 +109,39 @@ def test_all_tables_smoke():
     report = all_tables(sizes=(8, 16), keys=("q2", "q6"))
     assert "Fig. 6" in report
     assert "§5.2" in report and "§5.6" in report
+
+
+# ---------------------------------------------------------------------------
+# Machine-readable (JSON) results
+# ---------------------------------------------------------------------------
+
+def test_measurements_to_json_roundtrips(tmp_path):
+    import json
+
+    from repro.bench.harness import measurements_to_json, write_json
+    measured = {"q3": query_table("q3", sizes=(8,)).to_measurements()}
+    payload = measurements_to_json(measured, meta={"sizes": [8]})
+    assert payload["schema"] == "repro-bench/1"
+    records = payload["queries"]["q3"]
+    assert {r["label"] for r in records} == {"nested", "semijoin"}
+    for record in records:
+        assert record["seconds"] > 0
+        assert record["params"] == "books=8"
+        assert "total_scans" in record and "total_probes" in record
+        assert "output_chars" in record and "output" not in record
+    out = tmp_path / "bench.json"
+    write_json(str(out), payload)
+    assert json.loads(out.read_text()) == json.loads(
+        json.dumps(payload))
+
+
+def test_bench_cli_writes_json(tmp_path):
+    from repro.bench.__main__ import main
+    out = tmp_path / "out.json"
+    code = main(["--sizes", "8", "--query", "q3", "--no-paper",
+                 "--json", str(out)])
+    assert code == 0
+    import json
+    payload = json.loads(out.read_text())
+    assert payload["meta"]["sizes"] == [8]
+    assert "q3" in payload["queries"]

@@ -57,3 +57,10 @@ def test_optimizer_tour():
     dblp_block = out.split("Paparizos")[1].split("---")[0]
     assert "grouping" not in dblp_block.split("alternatives:")[1] \
         .splitlines()[0]
+    # the access-path section: scan plan without indexes, IdxScan with
+    access_block = out.split("Access-path selection")[1]
+    assert "index_mode='off': best plan is 'nested'" in access_block
+    assert "index_mode='eager': best plan is 'nested+index'" \
+        in access_block
+    assert "IdxScan" in access_block
+    assert "document_scans={}" in access_block
