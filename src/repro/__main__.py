@@ -42,9 +42,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="execute this plan alternative (default: "
                              "best; use 'nested' for the unoptimized "
                              "plan)")
-    parser.add_argument("--ranking", choices=("heuristic", "cost"),
+    parser.add_argument("--ranking",
+                        choices=("heuristic", "cost", "cost-first-tuple"),
                         default="heuristic",
-                        help="plan ranking strategy")
+                        help="plan ranking strategy (cost-first-tuple "
+                             "ranks by time-to-first-tuple, the "
+                             "pipelined engine's figure of merit)")
     parser.add_argument("--explain", action="store_true",
                         help="print plans instead of executing")
     parser.add_argument("--stats", action="store_true",
@@ -52,7 +55,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--analyze", action="store_true",
                         help="print the plan annotated with per-operator "
                              "invocation and row counts (EXPLAIN ANALYZE)")
-    parser.add_argument("--mode", choices=("physical", "reference"),
+    parser.add_argument("--mode",
+                        choices=("physical", "pipelined", "reference"),
                         default="physical", help="execution engine")
     return parser
 

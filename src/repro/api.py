@@ -74,8 +74,12 @@ class Database:
                 analyze: bool = False) -> ExecutionResult:
         """Run a plan; returns rows, constructed output and scan stats.
 
+        ``mode`` is ``"physical"`` (materializing hash engine),
+        ``"pipelined"`` (generator-based engine with short-circuit
+        quantifiers) or ``"reference"`` (definitional semantics).
         ``analyze=True`` records per-operator invocation/row counts
-        (EXPLAIN ANALYZE; physical mode only)."""
+        keyed by tree position (EXPLAIN ANALYZE; physical or pipelined
+        mode)."""
         return execute(plan, self.store, mode=mode, analyze=analyze)
 
 
@@ -137,7 +141,9 @@ def compile_query(text: str, db: Database,
     """Parse, normalize and translate an XQuery against a database.
 
     ``ranking`` selects how plan alternatives are ordered:
-    ``"heuristic"`` (the paper's measured plan hierarchy) or ``"cost"``
-    (the estimator of :mod:`repro.optimizer.cost`).
+    ``"heuristic"`` (the paper's measured plan hierarchy), ``"cost"``
+    (the all-tuples estimator of :mod:`repro.optimizer.cost`) or
+    ``"cost-first-tuple"`` (time-to-first-tuple, the pipelined
+    engine's figure of merit).
     """
     return CompiledQuery(text, db, ranking=ranking)

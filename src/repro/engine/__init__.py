@@ -4,6 +4,9 @@
   statistics, output stream);
 - :mod:`repro.engine.physical` — the physical evaluator: hash-based,
   order-preserving implementations of joins and groupings;
+- :mod:`repro.engine.pipeline` — the pipelined evaluator: the same
+  algorithms as generators, with first-witness short-circuiting for
+  quantifier subscripts;
 - :mod:`repro.engine.executor` — the user-facing ``execute`` entry point
   returning rows, constructed output and statistics.
 """
@@ -11,5 +14,7 @@
 from repro.engine.context import EvalContext
 from repro.engine.executor import ExecutionResult, execute
 from repro.engine.physical import run_physical
+from repro.engine.pipeline import run_pipelined
 
-__all__ = ["EvalContext", "ExecutionResult", "execute", "run_physical"]
+__all__ = ["EvalContext", "ExecutionResult", "execute", "run_physical",
+           "run_pipelined"]

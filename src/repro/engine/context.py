@@ -18,10 +18,12 @@ class EvalContext:
         self.store = store
         self.stats = stats if stats is not None else store.stats
         self._output: list[str] = []
-        #: when not None, the physical engine records per-operator
-        #: (invocations, output rows) keyed by id(operator) — the data
-        #: behind EXPLAIN ANALYZE (see executor.execute(analyze=True))
-        self.analyze_counts: dict[int, tuple[int, int]] | None = None
+        #: when not None, the physical/pipelined engines record
+        #: per-operator (invocations, output rows) keyed by tree
+        #: position (the pre-order path of child indices from the plan
+        #: root) — the data behind EXPLAIN ANALYZE (see
+        #: executor.execute(analyze=True))
+        self.analyze_counts: dict[tuple, tuple[int, int]] | None = None
 
     def emit(self, text: str) -> None:
         """Append a fragment to the constructed query result."""

@@ -6,10 +6,14 @@ from __future__ import annotations
 import time
 
 from repro.engine.context import EvalContext
-from repro.engine.physical import run_physical
+from repro.engine.physical import ROOT_PATH, run_physical
+from repro.engine.pipeline import run_pipelined
 from repro.nal.algebra import Operator
 from repro.nal.values import Tup
 from repro.xmldb.document import DocumentStore
+
+#: execution modes accepted by :func:`execute`
+MODES = ("physical", "pipelined", "reference")
 
 
 class ExecutionResult:
@@ -17,7 +21,8 @@ class ExecutionResult:
 
     def __init__(self, rows: list[Tup], output: str, stats: dict,
                  elapsed: float,
-                 operator_counts: dict[int, tuple[int, int]] | None = None):
+                 operator_counts: dict[tuple, tuple[int, int]]
+                 | None = None):
         #: the operator tree's result sequence
         self.rows = rows
         #: the XML text the Ξ operators constructed
@@ -26,8 +31,11 @@ class ExecutionResult:
         self.stats = stats
         #: wall-clock seconds
         self.elapsed = elapsed
-        #: EXPLAIN ANALYZE data: id(operator) -> (invocations, rows);
-        #: None unless execute() ran with analyze=True
+        #: EXPLAIN ANALYZE data: tree position -> (invocations, rows).
+        #: A tree position is the pre-order path of child indices from
+        #: the root — ``()`` for the root operator, ``(0, 1)`` for the
+        #: second child of the first child.  None unless execute() ran
+        #: with analyze=True.
         self.operator_counts = operator_counts
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -44,16 +52,20 @@ def execute(plan: Operator, store: DocumentStore,
     """Execute a plan against a document store.
 
     ``mode="physical"`` uses the hash-based engine (the default; what the
-    benchmarks measure); ``mode="reference"`` uses the definitional
+    benchmarks measure); ``mode="pipelined"`` uses the generator-based
+    engine of :mod:`repro.engine.pipeline` — same algorithms, but
+    operators yield tuples on demand and quantifier subscripts stop at
+    the first witness; ``mode="reference"`` uses the definitional
     semantics (useful for differential testing).  ``analyze=True``
-    (physical mode only) additionally records per-operator invocation
-    and row counts — render them with
+    (physical or pipelined mode) additionally records per-operator
+    invocation and row counts keyed by tree position — render them with
     :func:`~repro.engine.executor.analyze_to_string`.
     """
-    if mode not in ("physical", "reference"):
+    if mode not in MODES:
         raise ValueError(f"unknown execution mode {mode!r}")
-    if analyze and mode != "physical":
-        raise ValueError("analyze=True requires mode='physical'")
+    if analyze and mode == "reference":
+        raise ValueError(
+            "analyze=True requires mode='physical' or 'pipelined'")
     if reset_stats:
         store.stats.reset()
     ctx = EvalContext(store)
@@ -62,6 +74,8 @@ def execute(plan: Operator, store: DocumentStore,
     start = time.perf_counter()
     if mode == "physical":
         rows = run_physical(plan, ctx)
+    elif mode == "pipelined":
+        rows = list(run_pipelined(plan, ctx, path=ROOT_PATH))
     else:
         rows = plan.evaluate(ctx)
     elapsed = time.perf_counter() - start
@@ -73,21 +87,26 @@ def execute(plan: Operator, store: DocumentStore,
 def analyze_to_string(plan: Operator,
                       result: ExecutionResult) -> str:
     """EXPLAIN ANALYZE rendering: the plan tree annotated with each
-    operator's invocation count and emitted rows.
+    operator's invocation count and emitted rows, matched by tree
+    position (so an operator instance shared between two positions of a
+    rewritten tree reports each position separately).
 
-    Operators inside nested subscripts run through the reference
-    evaluator and show as ``(not measured)`` — their work is charged to
-    the host operator, which is exactly the nested-loop cost the
-    unnesting equivalences eliminate.
+    Operators inside nested subscripts run through the reference (or
+    unmeasured pipelined) evaluator and show as ``(not measured)`` —
+    their work is charged to the host operator, which is exactly the
+    nested-loop cost the unnesting equivalences eliminate.  Under
+    ``mode="pipelined"`` the row counts are the tuples actually
+    *pulled*: an operator a short-circuit never reached also shows
+    ``(not measured)``.
     """
     counts = result.operator_counts
     if counts is None:
         raise ValueError("result was not executed with analyze=True")
     lines: list[str] = []
 
-    def walk(op: Operator, depth: int) -> None:
+    def walk(op: Operator, depth: int, path: tuple) -> None:
         pad = "  " * depth
-        entry = counts.get(id(op))
+        entry = counts.get(path)
         if entry is None:
             note = "(not measured)"
         else:
@@ -98,9 +117,11 @@ def analyze_to_string(plan: Operator,
         for expr in op.scalar_exprs():
             for nested in _nested_plans(expr):
                 lines.append(f"{pad}  ⟨nested⟩")
-                walk(nested, depth + 2)
-        for child in op.children:
-            walk(child, depth + 1)
+                # Nested subscript plans are never measured; give them a
+                # path no engine records under.
+                walk(nested, depth + 2, path + ("nested",))
+        for index, child in enumerate(op.children):
+            walk(child, depth + 1, path + (index,))
 
-    walk(plan, 0)
+    walk(plan, 0, ROOT_PATH)
     return "\n".join(lines)

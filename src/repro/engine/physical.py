@@ -9,12 +9,19 @@ input, probe in left order, emit matches in right order), which produces
 exactly the left-major sequence the join definition σ_p(e1 × e2)
 prescribes, in O(|e1| + |e2| + |output|).
 
+Hash probes are NULL-guarded: ``compare_atomic`` makes NULL equal to
+nothing (itself included), while ``canonical_key(NULL)`` necessarily
+hashes all NULLs together, so a key tuple containing NULL must neither
+probe nor be probed (see :func:`_probe_key`).
+
 Crucially, *nested algebraic expressions cannot be helped by this layer*:
 a χ or σ whose subscript contains a :class:`~repro.nal.scalar.NestedPlan`
 or quantifier re-evaluates the inner plan once per outer tuple no matter
 how clever the outer operators are.  That asymmetry — unavoidable
 quadratic work for nested plans, linear work after unnesting — is the
-paper's experimental story.
+paper's experimental story.  The pipelined engine in
+:mod:`repro.engine.pipeline` shares these algorithms but yields tuples
+on demand and short-circuits quantifier subscripts.
 
 Property-based tests assert ``run_physical`` ≡ reference ``evaluate`` on
 randomized plans and inputs.
@@ -46,34 +53,49 @@ from repro.nal.unary_ops import (
 )
 from repro.nal.values import (
     EMPTY_TUPLE,
+    NULL,
     Tup,
     canonical_key,
     compare_atomic,
     effective_boolean,
     iter_items,
     null_tuple,
-    sort_key,
 )
 
+#: the tree position of a plan's root operator (see ``run_physical``)
+ROOT_PATH: tuple[int, ...] = ()
 
-def run_physical(plan: Operator, ctx, env: Tup = EMPTY_TUPLE) -> list[Tup]:
+
+def run_physical(plan: Operator, ctx, env: Tup = EMPTY_TUPLE,
+                 path: tuple[int, ...] = ROOT_PATH) -> list[Tup]:
     """Evaluate ``plan`` with the physical algorithms.
 
     When ``ctx.analyze_counts`` is a dict (EXPLAIN ANALYZE mode), each
     operator's invocation count and total output rows are recorded in it
-    under ``id(operator)``.  Nested subscript plans evaluate through the
-    reference semantics and are charged to their host operator.
+    under its *tree position* — the pre-order path of child indices from
+    the root (``()`` for the root, ``(0, 1)`` for the second child of the
+    first child, …).  Keying by position rather than by operator identity
+    keeps the counts of an operator instance shared between two positions
+    of a rewritten tree separate.  Nested subscript plans evaluate
+    through the reference semantics and are charged to their host
+    operator.
     """
     handler = _DISPATCH.get(type(plan))
     if handler is None:
         raise EvaluationError(
             f"no physical implementation for {type(plan).__name__}")
-    rows = handler(plan, ctx, env)
+    rows = handler(plan, ctx, env, path)
     counts = ctx.analyze_counts
     if counts is not None:
-        calls, total = counts.get(id(plan), (0, 0))
-        counts[id(plan)] = (calls + 1, total + len(rows))
+        calls, total = counts.get(path, (0, 0))
+        counts[path] = (calls + 1, total + len(rows))
     return rows
+
+
+def _child(plan: Operator, i: int, ctx, env: Tup,
+           path: tuple[int, ...]) -> list[Tup]:
+    """Evaluate the i-th child, extending the tree position."""
+    return run_physical(plan.children[i], ctx, env, path + (i,))
 
 
 # ----------------------------------------------------------------------
@@ -109,12 +131,24 @@ def _as_equi_pair(conjunct: ScalarExpr, left_attrs: frozenset[str],
     return None
 
 
+_NULL_KEY = canonical_key(NULL)
+
+
+def _probe_key(row: Tup, attrs: list[str]) -> tuple | None:
+    """The hash key of ``row`` over ``attrs``, or None when any component
+    is NULL — NULL equals nothing under ``compare_atomic``, so NULL keys
+    must neither enter the hash table nor probe it."""
+    key = tuple(canonical_key(row[a]) for a in attrs)
+    return None if _NULL_KEY in key else key
+
+
 def _hash_buckets(rows: list[Tup], attrs: list[str]
                   ) -> dict[tuple, list[Tup]]:
     buckets: dict[tuple, list[Tup]] = {}
     for row in rows:
-        key = tuple(canonical_key(row[a]) for a in attrs)
-        buckets.setdefault(key, []).append(row)
+        key = _probe_key(row, attrs)
+        if key is not None:
+            buckets.setdefault(key, []).append(row)
     return buckets
 
 
@@ -128,47 +162,47 @@ def _residual_ok(residual: list[ScalarExpr], combined: Tup, env: Tup,
 # ----------------------------------------------------------------------
 # Streaming unary operators
 # ----------------------------------------------------------------------
-def _singleton(plan: Singleton, ctx, env: Tup) -> list[Tup]:
+def _singleton(plan: Singleton, ctx, env: Tup, path) -> list[Tup]:
     return [EMPTY_TUPLE]
 
 
-def _table(plan: Table, ctx, env: Tup) -> list[Tup]:
+def _table(plan: Table, ctx, env: Tup, path) -> list[Tup]:
     return list(plan.rows)
 
 
-def _index_scan(plan: IndexScan, ctx, env: Tup) -> list[Tup]:
+def _index_scan(plan: IndexScan, ctx, env: Tup, path) -> list[Tup]:
     # Probing is the same algorithm in both execution modes; the index
     # already holds its node lists in document order.
     nodes = ctx.store.indexes.probe(plan.probe, ctx.stats)
     return [Tup({plan.attr: node}) for node in nodes]
 
 
-def _select(plan: Select, ctx, env: Tup) -> list[Tup]:
-    rows = run_physical(plan.child, ctx, env)
+def _select(plan: Select, ctx, env: Tup, path) -> list[Tup]:
+    rows = _child(plan, 0, ctx, env, path)
     return [t for t in rows
             if effective_boolean(plan.pred.evaluate(scalar_env(env, t),
                                                     ctx))]
 
 
-def _project(plan: Project, ctx, env: Tup) -> list[Tup]:
+def _project(plan: Project, ctx, env: Tup, path) -> list[Tup]:
     return [t.project(plan.attributes)
-            for t in run_physical(plan.child, ctx, env)]
+            for t in _child(plan, 0, ctx, env, path)]
 
 
-def _project_away(plan: ProjectAway, ctx, env: Tup) -> list[Tup]:
+def _project_away(plan: ProjectAway, ctx, env: Tup, path) -> list[Tup]:
     return [t.project_away(plan.attributes)
-            for t in run_physical(plan.child, ctx, env)]
+            for t in _child(plan, 0, ctx, env, path)]
 
 
-def _rename(plan: Rename, ctx, env: Tup) -> list[Tup]:
+def _rename(plan: Rename, ctx, env: Tup, path) -> list[Tup]:
     return [t.rename(plan.mapping)
-            for t in run_physical(plan.child, ctx, env)]
+            for t in _child(plan, 0, ctx, env, path)]
 
 
-def _distinct(plan: DistinctProject, ctx, env: Tup) -> list[Tup]:
+def _distinct(plan: DistinctProject, ctx, env: Tup, path) -> list[Tup]:
     seen: set = set()
     result: list[Tup] = []
-    for t in run_physical(plan.child, ctx, env):
+    for t in _child(plan, 0, ctx, env, path):
         projected = t.project(plan.attributes)
         key = tuple(canonical_key(projected[a]) for a in plan.attributes)
         if key not in seen:
@@ -179,46 +213,46 @@ def _distinct(plan: DistinctProject, ctx, env: Tup) -> list[Tup]:
     return result
 
 
-def _map(plan: Map, ctx, env: Tup) -> list[Tup]:
+def _map(plan: Map, ctx, env: Tup, path) -> list[Tup]:
     result = []
-    for t in run_physical(plan.child, ctx, env):
+    for t in _child(plan, 0, ctx, env, path):
         value = plan.expr.evaluate(scalar_env(env, t), ctx)
         result.append(t.extend(plan.attr, value))
     return result
 
 
-def _unnest_map(plan: UnnestMap, ctx, env: Tup) -> list[Tup]:
+def _unnest_map(plan: UnnestMap, ctx, env: Tup, path) -> list[Tup]:
     result = []
-    for t in run_physical(plan.child, ctx, env):
+    for t in _child(plan, 0, ctx, env, path):
         for item in iter_items(plan.expr.evaluate(scalar_env(env, t),
                                                   ctx)):
             result.append(t.extend(plan.attr, bind_item(item)))
     return result
 
 
-def _unnest(plan: Unnest, ctx, env: Tup) -> list[Tup]:
+def _unnest(plan: Unnest, ctx, env: Tup, path) -> list[Tup]:
     # The reference implementation is already a single pass.
     return plan.evaluate_rows(
-        run_physical(plan.child, ctx, env))
+        _child(plan, 0, ctx, env, path))
 
 
-def _sort(plan: Sort, ctx, env: Tup) -> list[Tup]:
-    rows = run_physical(plan.child, ctx, env)
+def _sort(plan: Sort, ctx, env: Tup, path) -> list[Tup]:
+    rows = _child(plan, 0, ctx, env, path)
     return sorted(rows, key=plan.sort_tuple)
 
 
 # ----------------------------------------------------------------------
 # Hash-based binary operators
 # ----------------------------------------------------------------------
-def _cross(plan: Cross, ctx, env: Tup) -> list[Tup]:
-    left_rows = run_physical(plan.left, ctx, env)
-    right_rows = run_physical(plan.right, ctx, env)
+def _cross(plan: Cross, ctx, env: Tup, path) -> list[Tup]:
+    left_rows = _child(plan, 0, ctx, env, path)
+    right_rows = _child(plan, 1, ctx, env, path)
     return [l.concat(r) for l in left_rows for r in right_rows]
 
 
-def _join(plan: Join, ctx, env: Tup) -> list[Tup]:
-    left_rows = run_physical(plan.left, ctx, env)
-    right_rows = run_physical(plan.right, ctx, env)
+def _join(plan: Join, ctx, env: Tup, path) -> list[Tup]:
+    left_rows = _child(plan, 0, ctx, env, path)
+    right_rows = _child(plan, 1, ctx, env, path)
     pairs, residual = split_equi_conjuncts(
         plan.pred, plan.left.attrs(), plan.right.attrs())
     result = []
@@ -227,7 +261,9 @@ def _join(plan: Join, ctx, env: Tup) -> list[Tup]:
         right_keys = [p[1] for p in pairs]
         buckets = _hash_buckets(right_rows, right_keys)
         for l in left_rows:
-            key = tuple(canonical_key(l[a]) for a in left_keys)
+            key = _probe_key(l, left_keys)
+            if key is None:
+                continue
             for r in buckets.get(key, ()):
                 combined = l.concat(r)
                 if _residual_ok(residual, combined, env, ctx):
@@ -241,17 +277,17 @@ def _join(plan: Join, ctx, env: Tup) -> list[Tup]:
     return result
 
 
-def _semi_join(plan: SemiJoin, ctx, env: Tup) -> list[Tup]:
-    return _semi_anti(plan, ctx, env, keep_matched=True)
+def _semi_join(plan: SemiJoin, ctx, env: Tup, path) -> list[Tup]:
+    return _semi_anti(plan, ctx, env, path, keep_matched=True)
 
 
-def _anti_join(plan: AntiJoin, ctx, env: Tup) -> list[Tup]:
-    return _semi_anti(plan, ctx, env, keep_matched=False)
+def _anti_join(plan: AntiJoin, ctx, env: Tup, path) -> list[Tup]:
+    return _semi_anti(plan, ctx, env, path, keep_matched=False)
 
 
-def _semi_anti(plan, ctx, env: Tup, keep_matched: bool) -> list[Tup]:
-    left_rows = run_physical(plan.left, ctx, env)
-    right_rows = run_physical(plan.right, ctx, env)
+def _semi_anti(plan, ctx, env: Tup, path, keep_matched: bool) -> list[Tup]:
+    left_rows = _child(plan, 0, ctx, env, path)
+    right_rows = _child(plan, 1, ctx, env, path)
     pairs, residual = split_equi_conjuncts(
         plan.pred, plan.left.attrs(), plan.right.attrs())
     result = []
@@ -260,8 +296,8 @@ def _semi_anti(plan, ctx, env: Tup, keep_matched: bool) -> list[Tup]:
         right_keys = [p[1] for p in pairs]
         buckets = _hash_buckets(right_rows, right_keys)
         for l in left_rows:
-            key = tuple(canonical_key(l[a]) for a in left_keys)
-            matched = any(
+            key = _probe_key(l, left_keys)
+            matched = key is not None and any(
                 _residual_ok(residual, l.concat(r), env, ctx)
                 for r in buckets.get(key, ()))
             if matched == keep_matched:
@@ -276,9 +312,9 @@ def _semi_anti(plan, ctx, env: Tup, keep_matched: bool) -> list[Tup]:
     return result
 
 
-def _outer_join(plan: OuterJoin, ctx, env: Tup) -> list[Tup]:
-    left_rows = run_physical(plan.left, ctx, env)
-    right_rows = run_physical(plan.right, ctx, env)
+def _outer_join(plan: OuterJoin, ctx, env: Tup, path) -> list[Tup]:
+    left_rows = _child(plan, 0, ctx, env, path)
+    right_rows = _child(plan, 1, ctx, env, path)
     pairs, residual = split_equi_conjuncts(
         plan.pred, plan.left.attrs(), plan.right.attrs())
     pad_attrs = [a for a in plan.right.attrs() if a != plan.group_attr]
@@ -289,8 +325,8 @@ def _outer_join(plan: OuterJoin, ctx, env: Tup) -> list[Tup]:
         buckets = _hash_buckets(right_rows, right_keys)
 
         def candidates(l: Tup) -> list[Tup]:
-            key = tuple(canonical_key(l[a]) for a in left_keys)
-            return buckets.get(key, [])
+            key = _probe_key(l, left_keys)
+            return buckets.get(key, []) if key is not None else []
     else:
         residual = [plan.pred]
 
@@ -312,10 +348,12 @@ def _outer_join(plan: OuterJoin, ctx, env: Tup) -> list[Tup]:
 
 
 # ----------------------------------------------------------------------
-# Hash-based grouping
+# Hash-based grouping (row-level algorithms shared with the pipelined
+# engine — grouping is inherently blocking in both modes)
 # ----------------------------------------------------------------------
-def _group_unary(plan: GroupUnary, ctx, env: Tup) -> list[Tup]:
-    rows = run_physical(plan.child, ctx, env)
+def group_unary_rows(plan: GroupUnary, rows: list[Tup], env: Tup,
+                     ctx) -> list[Tup]:
+    """Hash implementation of the unary Γ over materialized rows."""
     if plan.theta == "=":
         order: list[tuple] = []
         keys: dict[tuple, Tup] = {}
@@ -327,22 +365,27 @@ def _group_unary(plan: GroupUnary, ctx, env: Tup) -> list[Tup]:
                 keys[key] = row.project(plan.by_attrs)
                 groups[key] = []
             groups[key].append(row)
-        return [keys[k].extend(plan.group_attr,
-                               plan.agg.apply(groups[k], env, ctx))
+        # A NULL key still appears in the output (distinctness uses
+        # canonical keys) but its group is empty: NULL = NULL is false.
+        return [keys[k].extend(
+                    plan.group_attr,
+                    plan.agg.apply(
+                        groups[k] if _NULL_KEY not in k else [],
+                        env, ctx))
                 for k in order]
     # General θ: one pass for distinct keys, then a filter per key.
     return plan.evaluate_rows(rows, env, ctx)
 
 
-def _group_binary(plan: GroupBinary, ctx, env: Tup) -> list[Tup]:
-    left_rows = run_physical(plan.left, ctx, env)
-    right_rows = run_physical(plan.right, ctx, env)
+def group_binary_rows(plan: GroupBinary, left_rows: list[Tup],
+                      right_rows: list[Tup], env: Tup, ctx) -> list[Tup]:
+    """Hash implementation of the binary Γ (nest-join)."""
     if plan.theta == "=":
         buckets = _hash_buckets(right_rows, list(plan.right_attrs))
         result = []
         for l in left_rows:
-            key = tuple(canonical_key(l[a]) for a in plan.left_attrs)
-            group = buckets.get(key, [])
+            key = _probe_key(l, list(plan.left_attrs))
+            group = buckets.get(key, []) if key is not None else []
             result.append(l.extend(plan.group_attr,
                                    plan.agg.apply(group, env, ctx)))
         return result
@@ -357,8 +400,9 @@ def _group_binary(plan: GroupBinary, ctx, env: Tup) -> list[Tup]:
     return result
 
 
-def _self_group(plan: SelfGroup, ctx, env: Tup) -> list[Tup]:
-    rows = run_physical(plan.child, ctx, env)
+def self_group_rows(plan: SelfGroup, rows: list[Tup], env: Tup,
+                    ctx) -> list[Tup]:
+    """One-pass ΓSelf (key → aggregate over the same input)."""
     groups: dict[tuple, list[Tup]] = {}
     for row in rows:
         key = tuple(canonical_key(row[a]) for a in plan.key_attrs)
@@ -371,11 +415,26 @@ def _self_group(plan: SelfGroup, ctx, env: Tup) -> list[Tup]:
         for row in rows]
 
 
+def _group_unary(plan: GroupUnary, ctx, env: Tup, path) -> list[Tup]:
+    return group_unary_rows(plan, _child(plan, 0, ctx, env, path),
+                            env, ctx)
+
+
+def _group_binary(plan: GroupBinary, ctx, env: Tup, path) -> list[Tup]:
+    return group_binary_rows(plan, _child(plan, 0, ctx, env, path),
+                             _child(plan, 1, ctx, env, path), env, ctx)
+
+
+def _self_group(plan: SelfGroup, ctx, env: Tup, path) -> list[Tup]:
+    return self_group_rows(plan, _child(plan, 0, ctx, env, path),
+                           env, ctx)
+
+
 # ----------------------------------------------------------------------
 # Construction
 # ----------------------------------------------------------------------
-def _construct(plan: Construct, ctx, env: Tup) -> list[Tup]:
-    rows = run_physical(plan.child, ctx, env)
+def _construct(plan: Construct, ctx, env: Tup, path) -> list[Tup]:
+    rows = _child(plan, 0, ctx, env, path)
     for row in rows:
         bound = scalar_env(env, row)
         for command in plan.commands:
@@ -383,8 +442,9 @@ def _construct(plan: Construct, ctx, env: Tup) -> list[Tup]:
     return rows
 
 
-def _group_construct(plan: GroupConstruct, ctx, env: Tup) -> list[Tup]:
-    rows = run_physical(plan.child, ctx, env)
+def _group_construct(plan: GroupConstruct, ctx, env: Tup, path
+                     ) -> list[Tup]:
+    rows = _child(plan, 0, ctx, env, path)
     return plan.emit_rows(rows, env, ctx)
 
 

@@ -74,6 +74,18 @@ class Operator:
         """
         raise NotImplementedError
 
+    def iterate(self, ctx, env: Tup = EMPTY_TUPLE):
+        """Produce the same sequence as :meth:`evaluate`, one tuple at a
+        time.  Non-blocking operators override this with a generator
+        that pulls from their children on demand; the default
+        materializes (correct for any operator, lazy for none).  The
+        hash-based pipelined engine lives in
+        :mod:`repro.engine.pipeline`; this is its definitional
+        counterpart, and differential tests assert both agree with
+        ``evaluate``.
+        """
+        return iter(self.evaluate(ctx, env))
+
     # ------------------------------------------------------------------
     # Structural equality / traversal
     # ------------------------------------------------------------------

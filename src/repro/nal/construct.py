@@ -94,6 +94,24 @@ def render_value(value: Any) -> str:
     return str(value)
 
 
+def contains_construct(plan: Operator) -> bool:
+    """Whether ``plan`` — including nested plans inside operator
+    subscripts — contains a Ξ, whose evaluation writes to the output
+    stream as a side effect.  Lazy evaluators (the pipelined engine,
+    the ``iterate`` streams) use this to force such operands to run to
+    completion: short-circuiting or skipping them would silently drop
+    constructed output."""
+    from repro.nal.pretty import _nested_plans
+    for op in plan.walk():
+        if isinstance(op, (Construct, GroupConstruct)):
+            return True
+        for expr in op.scalar_exprs():
+            for nested in _nested_plans(expr):
+                if contains_construct(nested):
+                    return True
+    return False
+
+
 class Construct(Operator):
     """Simple Ξ: run the command list per tuple; identity on its input."""
 
@@ -124,6 +142,13 @@ class Construct(Operator):
             for command in self.commands:
                 command.emit(bound, ctx)
         return rows
+
+    def iterate(self, ctx, env: Tup = EMPTY_TUPLE):
+        for row in self.child.iterate(ctx, env):
+            bound = scalar_env(env, row)
+            for command in self.commands:
+                command.emit(bound, ctx)
+            yield row
 
     def label(self) -> str:
         return f"Ξ[{'; '.join(repr(c) for c in self.commands)}]"
@@ -167,9 +192,20 @@ class GroupConstruct(Operator):
     def evaluate(self, ctx, env: Tup = EMPTY_TUPLE) -> list[Tup]:
         return self.emit_rows(self.child.evaluate(ctx, env), env, ctx)
 
+    def iterate(self, ctx, env: Tup = EMPTY_TUPLE):
+        return self.emit_rows_iter(self.child.iterate(ctx, env), env, ctx)
+
     def emit_rows(self, rows: list[Tup], env: Tup, ctx) -> list[Tup]:
         """Run the group-boundary state machine over materialized rows
         (shared with the physical evaluator)."""
+        return list(self.emit_rows_iter(rows, env, ctx))
+
+    def emit_rows_iter(self, rows, env: Tup, ctx):
+        """Streaming form of :meth:`emit_rows` (shared with the
+        pipelined evaluator): the state machine only ever looks at the
+        current and the previous row, so it passes tuples through one at
+        a time.  A group's closing commands (s3) run when the first row
+        of the *next* group arrives (or the input ends)."""
         previous_key = None
         previous_row: Tup | None = None
         for row in rows:
@@ -186,11 +222,11 @@ class GroupConstruct(Operator):
             for command in self.s2:
                 command.emit(bound, ctx)
             previous_row = row
+            yield row
         if previous_row is not None:
             closing = scalar_env(env, previous_row)
             for command in self.s3:
                 command.emit(closing, ctx)
-        return rows
 
     def label(self) -> str:
         return f"ΞG[{', '.join(self.by_attrs)}]"

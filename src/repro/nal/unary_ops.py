@@ -38,6 +38,9 @@ class Singleton(Operator):
     def evaluate(self, ctx, env: Tup = EMPTY_TUPLE) -> list[Tup]:
         return [EMPTY_TUPLE]
 
+    def iterate(self, ctx, env: Tup = EMPTY_TUPLE):
+        yield EMPTY_TUPLE
+
     def label(self) -> str:
         return "□"
 
@@ -70,6 +73,9 @@ class Table(Operator):
 
     def evaluate(self, ctx, env: Tup = EMPTY_TUPLE) -> list[Tup]:
         return list(self.rows)
+
+    def iterate(self, ctx, env: Tup = EMPTY_TUPLE):
+        return iter(self.rows)
 
     def label(self) -> str:
         return f"Table({self.name})"
@@ -105,6 +111,10 @@ class IndexScan(Operator):
         nodes = ctx.store.indexes.probe(self.probe, ctx.stats)
         return [Tup({self.attr: node}) for node in nodes]
 
+    def iterate(self, ctx, env: Tup = EMPTY_TUPLE):
+        for node in ctx.store.indexes.probe(self.probe, ctx.stats):
+            yield Tup({self.attr: node})
+
     def label(self) -> str:
         return f"IdxScan[{self.attr}:{self.probe.describe()}]"
 
@@ -137,6 +147,12 @@ class Select(Operator):
                 if effective_boolean(
                     self.pred.evaluate(scalar_env(env, t), ctx))]
 
+    def iterate(self, ctx, env: Tup = EMPTY_TUPLE):
+        for t in self.child.iterate(ctx, env):
+            if effective_boolean(self.pred.evaluate(scalar_env(env, t),
+                                                    ctx)):
+                yield t
+
     def label(self) -> str:
         return f"σ[{self.pred!r}]"
 
@@ -166,6 +182,10 @@ class Project(Operator):
         return [t.project(self.attributes)
                 for t in self.child.evaluate(ctx, env)]
 
+    def iterate(self, ctx, env: Tup = EMPTY_TUPLE):
+        for t in self.child.iterate(ctx, env):
+            yield t.project(self.attributes)
+
     def label(self) -> str:
         return f"Π[{', '.join(self.attributes)}]"
 
@@ -193,6 +213,10 @@ class ProjectAway(Operator):
     def evaluate(self, ctx, env: Tup = EMPTY_TUPLE) -> list[Tup]:
         return [t.project_away(self.attributes)
                 for t in self.child.evaluate(ctx, env)]
+
+    def iterate(self, ctx, env: Tup = EMPTY_TUPLE):
+        for t in self.child.iterate(ctx, env):
+            yield t.project_away(self.attributes)
 
     def label(self) -> str:
         return f"Π̄[{', '.join(self.attributes)}]"
@@ -222,6 +246,10 @@ class Rename(Operator):
     def evaluate(self, ctx, env: Tup = EMPTY_TUPLE) -> list[Tup]:
         return [t.rename(self.mapping)
                 for t in self.child.evaluate(ctx, env)]
+
+    def iterate(self, ctx, env: Tup = EMPTY_TUPLE):
+        for t in self.child.iterate(ctx, env):
+            yield t.rename(self.mapping)
 
     def label(self) -> str:
         inner = ", ".join(f"{v}:{k}" for k, v in self.mapping.items())
@@ -255,9 +283,11 @@ class DistinctProject(Operator):
         return DistinctProject(children[0], self.attributes, self.renaming)
 
     def evaluate(self, ctx, env: Tup = EMPTY_TUPLE) -> list[Tup]:
+        return list(self.iterate(ctx, env))
+
+    def iterate(self, ctx, env: Tup = EMPTY_TUPLE):
         seen: set = set()
-        result: list[Tup] = []
-        for t in self.child.evaluate(ctx, env):
+        for t in self.child.iterate(ctx, env):
             projected = t.project(self.attributes)
             key = tuple(canonical_key(projected[a])
                         for a in self.attributes)
@@ -265,8 +295,7 @@ class DistinctProject(Operator):
                 seen.add(key)
                 if self.renaming:
                     projected = projected.rename(self.renaming)
-                result.append(projected)
-        return result
+                yield projected
 
     def label(self) -> str:
         if self.renaming:
@@ -317,6 +346,11 @@ class Map(Operator):
             result.append(t.extend(self.attr, value))
         return result
 
+    def iterate(self, ctx, env: Tup = EMPTY_TUPLE):
+        for t in self.child.iterate(ctx, env):
+            yield t.extend(self.attr,
+                           self.expr.evaluate(scalar_env(env, t), ctx))
+
     def label(self) -> str:
         return f"χ[{self.attr}:{self.expr!r}]"
 
@@ -358,6 +392,12 @@ class UnnestMap(Operator):
             for item in items:
                 result.append(t.extend(self.attr, bind_item(item)))
         return result
+
+    def iterate(self, ctx, env: Tup = EMPTY_TUPLE):
+        for t in self.child.iterate(ctx, env):
+            for item in iter_items(self.expr.evaluate(scalar_env(env, t),
+                                                      ctx)):
+                yield t.extend(self.attr, bind_item(item))
 
     def label(self) -> str:
         return f"Υ[{self.attr}:{self.expr!r}]"
@@ -401,6 +441,10 @@ class Unnest(Operator):
 
     def evaluate(self, ctx, env: Tup = EMPTY_TUPLE) -> list[Tup]:
         return self.evaluate_rows(self.child.evaluate(ctx, env))
+
+    def iterate(self, ctx, env: Tup = EMPTY_TUPLE):
+        for t in self.child.iterate(ctx, env):
+            yield from self.evaluate_rows([t])
 
     def evaluate_rows(self, rows: list[Tup]) -> list[Tup]:
         """Unnest already-materialized input rows (shared with the

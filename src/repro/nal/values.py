@@ -15,10 +15,16 @@ XQuery general comparisons atomize nodes and compare typed values.  Our
 untyped documents store everything as strings, so we use the following
 deterministic rule (documented deviation from full XQuery typing): two
 atomized values compare *numerically* when both parse as numbers, otherwise
-as strings.  ``NULL`` compares false against everything (including itself).
+as strings.  Booleans are their own atomic type: a boolean compares equal
+only to another boolean — never to the numbers 0/1 or the strings
+"true"/"false" — and supports only ``=`` and ``!=``.  ``NULL`` compares
+false against everything (including itself).
 :func:`canonical_key` maps a value to a hashable key consistent with that
 equality, which is what the hash-based physical operators and the
-duplicate-eliminating projection use.
+duplicate-eliminating projection use.  NULL is the one deliberate
+exception: ``canonical_key(NULL)`` is well-defined (hashing needs it) but
+``compare_atomic(NULL, '=', NULL)`` is false, so hash-based operators must
+treat NULL keys as matching nothing (see ``repro.engine.physical``).
 """
 
 from __future__ import annotations
@@ -203,7 +209,9 @@ def _as_number(value: Any) -> float | None:
 
 def canonical_key(value: Any) -> Any:
     """A hashable key such that ``compare_atomic(a, '=', b)`` iff
-    ``canonical_key(a) == canonical_key(b)`` (for atomizable values)."""
+    ``canonical_key(a) == canonical_key(b)`` (for atomizable non-NULL
+    values; NULL keys hash together but compare false, so hash-based
+    operators NULL-guard their probes)."""
     if value is NULL or value is None:
         return ("null",)
     if isinstance(value, Node):
@@ -229,16 +237,22 @@ def compare_atomic(left: Any, op: str, right: Any) -> bool:
         return False
     left = atomize(left)
     right = atomize(right)
+    left_is_bool = isinstance(left, bool)
+    right_is_bool = isinstance(right, bool)
+    if left_is_bool or right_is_bool:
+        # Booleans form their own type: equal only to another boolean,
+        # matching canonical_key's ("b", v) keying — the invariant every
+        # hash-based operator relies on.
+        if op not in ("=", "!="):
+            raise EvaluationError("booleans only support = and !=")
+        equal = left_is_bool and right_is_bool and left == right
+        return equal if op == "=" else not equal
     left_num = _as_number(left)
     right_num = _as_number(right)
     a: Any
     b: Any
     if left_num is not None and right_num is not None:
         a, b = left_num, right_num
-    elif isinstance(left, bool) or isinstance(right, bool):
-        if op not in ("=", "!="):
-            raise EvaluationError("booleans only support = and !=")
-        a, b = bool(left), bool(right)
     else:
         a, b = str(left), str(right)
     if op == "=":

@@ -107,14 +107,30 @@ class ScalarCost:
 
 @dataclass
 class PlanCost:
-    """Estimated cost of a plan."""
+    """Estimated cost of a plan, split into the all-tuples total and the
+    cost of producing the *first* output tuple.
+
+    Under the materializing physical engine only ``total`` matters; the
+    pipelined engine's quantifier short-circuiting pays roughly
+    ``first_tuple`` per existence probe, so plan ranking for pipelined
+    execution orders by it (``ranking="cost-first-tuple"``).  Blocking
+    operators (sort, grouping) pin ``first_tuple`` to ``total``;
+    streaming operators pass their child's ``first_tuple`` through plus
+    their per-tuple work.  ``first_tuple`` defaults to ``total`` when
+    not given.
+    """
 
     cardinality: float
     total: float
+    first_tuple: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.first_tuple is None:
+            self.first_tuple = self.total
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<PlanCost card≈{self.cardinality:.0f} " \
-               f"cost≈{self.total:.0f}>"
+               f"cost≈{self.total:.0f} first≈{self.first_tuple:.0f}>"
 
 
 class CostModel:
@@ -141,17 +157,19 @@ class CostModel:
             return PlanCost(1.0, 0.0)
         if isinstance(op, Table):
             n = float(len(op.rows))
-            return PlanCost(n, n)
+            return PlanCost(n, n, min(1.0, n))
         if isinstance(op, IndexScan):
             return self._index_scan(op)
         if isinstance(op, (Project, ProjectAway, Rename)):
             child = self._plan(op.children[0])
             return PlanCost(child.cardinality,
-                            child.total + child.cardinality)
+                            child.total + child.cardinality,
+                            child.first_tuple + 1.0)
         if isinstance(op, DistinctProject):
             child = self._plan(op.children[0])
             distinct = max(1.0, child.cardinality * 0.7)
-            return PlanCost(distinct, child.total + child.cardinality)
+            return PlanCost(distinct, child.total + child.cardinality,
+                            child.first_tuple + 1.0)
         if isinstance(op, Select):
             return self._select(op)
         if isinstance(op, (Map, UnnestMap)):
@@ -159,7 +177,8 @@ class CostModel:
         if isinstance(op, Unnest):
             child = self._plan(op.children[0])
             card = child.cardinality * DEFAULT_FANOUT
-            return PlanCost(card, child.total + card)
+            return PlanCost(card, child.total + card,
+                            child.first_tuple + 1.0)
         if isinstance(op, Sort):
             child = self._plan(op.children[0])
             n = max(2.0, child.cardinality)
@@ -169,7 +188,8 @@ class CostModel:
             left = self._plan(op.children[0])
             right = self._plan(op.children[1])
             card = left.cardinality * right.cardinality
-            return PlanCost(card, left.total + right.total + card)
+            return PlanCost(card, left.total + right.total + card,
+                            left.first_tuple + right.total + 1.0)
         if isinstance(op, (Join, SemiJoin, AntiJoin, OuterJoin)):
             return self._join(op)
         if isinstance(op, (GroupUnary, GroupBinary, SelfGroup)):
@@ -179,7 +199,8 @@ class CostModel:
             per_tuple = sum(self._scalar(e).per_eval
                             for e in op.scalar_exprs()) + 1.0
             return PlanCost(child.cardinality,
-                            child.total + child.cardinality * per_tuple)
+                            child.total + child.cardinality * per_tuple,
+                            child.first_tuple + per_tuple)
         # Unknown operator: charge its children plus its output.
         children = [self._plan(c) for c in op.children]
         card = max((c.cardinality for c in children), default=1.0)
@@ -196,15 +217,20 @@ class CostModel:
             return PlanCost(1.0, 1.0)
         size = float(self.store.indexes.estimate(probe))
         descent = math.log2(max(2.0, self.stats.element_count(probe.doc)))
-        return PlanCost(size, descent + size)
+        return PlanCost(size, descent + size,
+                        min(descent + 1.0, descent + size))
 
     # ------------------------------------------------------------------
     def _select(self, op: Select) -> PlanCost:
         child = self._plan(op.children[0])
         pred = self._scalar(op.pred)
         total = child.total + child.cardinality * (1.0 + pred.per_eval)
+        # Pipelined: expect 1/selectivity child pulls before the first
+        # tuple passes the predicate.
+        first = child.first_tuple \
+            + (1.0 + pred.per_eval) / DEFAULT_SELECTIVITY
         return PlanCost(max(1.0, child.cardinality * DEFAULT_SELECTIVITY),
-                        total)
+                        total, min(first, total))
 
     def _map(self, op: Map | UnnestMap) -> PlanCost:
         child = self._plan(op.children[0])
@@ -218,7 +244,8 @@ class CostModel:
             total += card
         else:
             card = child.cardinality
-        return PlanCost(card, total)
+        first = child.first_tuple + 1.0 + expr.per_eval
+        return PlanCost(card, total, min(first, total))
 
     def _join(self, op) -> PlanCost:
         left = self._plan(op.children[0])
@@ -233,7 +260,11 @@ class CostModel:
             card = left.cardinality
         else:
             card = max(left.cardinality, right.cardinality)
-        return PlanCost(card, total)
+        # The hash table over the right input is built on the first
+        # probe-side pull, so the first output tuple pays the whole
+        # build side but only one probe.
+        first = left.first_tuple + right.total + right.cardinality + 1.0
+        return PlanCost(card, total, min(first, total))
 
     def _group(self, op) -> PlanCost:
         if isinstance(op, GroupBinary):

@@ -81,9 +81,13 @@ def unnest_plan(plan: Operator, store: DocumentStore,
     ``ranking="heuristic"`` (default) orders by the paper's measured
     plan hierarchy (group-Ξ ≻ grouping ≻ outer join ≻ nest-join ≻
     semi/antijoin ≻ nested), with the nested original always last.
-    ``ranking="cost"`` orders by the estimated cost of
+    ``ranking="cost"`` orders by the estimated all-tuples cost of
     :mod:`repro.optimizer.cost` (ties broken by the heuristic rank, so
     the nested plan never beats an equal-cost rewrite).
+    ``ranking="cost-first-tuple"`` orders by the estimated cost of
+    producing the *first* output tuple — the figure of merit for the
+    pipelined engine (``execute(..., mode="pipelined")``), whose
+    consumers may stop early; all-tuples cost breaks ties.
 
     ``access_paths`` controls whether each alternative additionally
     gets an index-based variant (label suffixed ``+index``, ranked just
@@ -91,9 +95,9 @@ def unnest_plan(plan: Operator, store: DocumentStore,
     access_paths` finds a cheaper probe; the default ``None`` follows
     the store's ``index_mode`` (off ⇒ scans only).
     """
-    if ranking not in ("heuristic", "cost"):
-        raise RewriteError(f"unknown ranking {ranking!r}; "
-                           "use 'heuristic' or 'cost'")
+    if ranking not in ("heuristic", "cost", "cost-first-tuple"):
+        raise RewriteError(f"unknown ranking {ranking!r}; use "
+                           "'heuristic', 'cost' or 'cost-first-tuple'")
     variants = _alternatives(plan, frozenset(), store)
     results: list[RewriteResult] = []
     for label, rewritten, applied in variants:
@@ -117,13 +121,17 @@ def unnest_plan(plan: Operator, store: DocumentStore,
                     result.label + "+index", rewritten,
                     result.applied + ("access-paths",)))
         results = indexed + results
-    if ranking == "cost":
+    if ranking in ("cost", "cost-first-tuple"):
         if model is None:
             from repro.optimizer.cost import CostModel
             model = CostModel(store)
         for result in results:
             result.cost = model.estimate(result.plan)
-        results.sort(key=lambda r: (r.cost.total, r.rank))
+        if ranking == "cost":
+            results.sort(key=lambda r: (r.cost.total, r.rank))
+        else:
+            results.sort(key=lambda r: (r.cost.first_tuple,
+                                        r.cost.total, r.rank))
     else:
         results.sort(key=lambda r: r.rank)
     return results

@@ -76,13 +76,49 @@ def test_analyze_string_requires_analyzed_result(db):
 
 def test_analyze_row_counts_are_plausible(db):
     """The Ξ at the root emits one tuple per distinct author; its row
-    count must equal the number of <author> elements constructed."""
+    count must equal the number of <author> elements constructed.
+    Counters are keyed by tree position — ``()`` is the root."""
     query = compile_query(NESTED_QUERY, db)
     plan = query.best().plan
     result = db.execute(plan, analyze=True)
-    calls, rows = result.operator_counts[id(plan)]
+    calls, rows = result.operator_counts[()]
     assert calls == 1
     assert rows == result.output.count("<author>")
+
+
+def test_analyze_counts_shared_subtree_per_position():
+    """An operator *instance* occurring at two tree positions must get
+    two separate counter entries (id-keyed counters used to merge them
+    into one, doubling the call count and misreporting rows)."""
+    from repro.engine.executor import execute
+    from repro.nal import Cross, Project, Rename, Table
+    from repro.xmldb.document import DocumentStore
+
+    shared = Table("T", ["A"], [{"A": 1}, {"A": 2}, {"A": 3}])
+    plan = Cross(Project(shared, ["A"]),
+                 Rename(shared, {"A": "B"}))
+    assert plan.children[0].children[0] is plan.children[1].children[0]
+    store = DocumentStore()
+    for mode in ("physical", "pipelined"):
+        result = execute(plan, store, mode=mode, analyze=True)
+        assert len(result.rows) == 9
+        assert result.operator_counts[(0, 0)] == (1, 3)
+        assert result.operator_counts[(1, 0)] == (1, 3)
+        assert result.operator_counts[()] == (1, 9)
+        text = analyze_to_string(plan, result)
+        assert text.count("Table(T)  [calls=1 rows=3]") == 2
+
+
+def test_analyze_pipelined_counts_rows_pulled(db):
+    """Pipelined EXPLAIN ANALYZE reports the rows each operator actually
+    produced; at the root (fully drained) they match physical mode."""
+    query = compile_query(NESTED_QUERY, db)
+    plan = query.best().plan
+    phys = db.execute(plan, analyze=True)
+    pipe = db.execute(plan, mode="pipelined", analyze=True)
+    assert pipe.rows == phys.rows
+    assert pipe.output == phys.output
+    assert pipe.operator_counts[()] == phys.operator_counts[()]
 
 
 def test_analyze_does_not_change_output(db):

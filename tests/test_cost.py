@@ -145,6 +145,44 @@ def test_unknown_ranking_rejected():
         unnest_plan(plan, db.store, ranking="oracle")
 
 
+def test_first_tuple_cost_split():
+    """The first-tuple estimate never exceeds the all-tuples total;
+    blocking operators pin the two together, streaming operators keep
+    first-tuple cost input-size independent (within a constant)."""
+    from repro.nal.scalar import AttrRef, Comparison, Const
+    from repro.nal.unary_ops import Select, Sort
+    from repro.xmldb.document import DocumentStore
+
+    store = DocumentStore()
+    model = CostModel(store)
+    big = Table("T", ["A"], [{"A": i} for i in range(500)])
+    for plan in (big, Select(big, Comparison(AttrRef("A"), ">",
+                                             Const(1))),
+                 Sort(big, ["A"])):
+        cost = model.estimate(plan)
+        assert cost.first_tuple <= cost.total
+    # Sort is blocking: first tuple pays the whole input.
+    sort_cost = model.estimate(Sort(big, ["A"]))
+    assert sort_cost.first_tuple == sort_cost.total
+    # A streaming select's first tuple is (much) cheaper than draining.
+    select_cost = model.estimate(
+        Select(big, Comparison(AttrRef("A"), ">", Const(1))))
+    assert select_cost.first_tuple < select_cost.total / 10
+
+
+def test_cost_first_tuple_ranking():
+    """ranking="cost-first-tuple" orders alternatives and fills the
+    cost field, with every first-tuple estimate bounded by its total."""
+    db = _db("q3", books=10)
+    query = compile_query(PAPER_QUERIES["q3"].text, db,
+                          ranking="cost-first-tuple")
+    plans = query.plans()
+    assert len(plans) >= 2
+    firsts = [alt.cost.first_tuple for alt in plans]
+    assert firsts == sorted(firsts)
+    assert all(alt.cost.first_tuple <= alt.cost.total for alt in plans)
+
+
 def test_cost_ranking_matches_measured_ordering():
     """End-to-end calibration: for q1 the cost-induced ordering of the
     four plans must match the measured times' ordering of nested vs the

@@ -1,11 +1,17 @@
-"""Differential testing of the physical engine.
+"""Differential testing of the physical and pipelined engines.
 
 Generates random operator trees (over random base tables) and checks
-that the hash-based physical engine produces exactly the sequence the
-definitional (reference) semantics produces — order included.  This
-generalizes the per-operator tests: operator *compositions* are where
-order-preservation bugs hide (e.g. a hash join that emits probe matches
-in build order).
+that the hash-based physical engine, the generator-based pipelined
+engine and the reference ``iterate`` stream all produce exactly the
+sequence the definitional (reference) semantics produces — order
+included.  This generalizes the per-operator tests: operator
+*compositions* are where order-preservation bugs hide (e.g. a hash join
+that emits probe matches in build order).
+
+Key attributes draw from a mix of integers, booleans, numeric strings
+and NULL: booleans pin the ``compare_atomic`` ⇔ ``canonical_key``
+coercion invariant (a boolean equals only a boolean), and NULLs pin the
+hash engines' NULL guards (NULL keys hash together but join nothing).
 
 Also includes the lemma of Appendix A.4:
 ``Π_{A'}(σ_{c∈a}(e)) = Π_{A'}(σ_{c=A}(µD_a(e)))``.
@@ -17,11 +23,14 @@ from hypothesis import given, settings, strategies as st
 
 from repro.engine.context import EvalContext
 from repro.engine.physical import run_physical
+from repro.engine.pipeline import run_pipelined
 from repro.nal import (
+    NULL,
     AggSpec,
     AntiJoin,
     Cross,
     DistinctProject,
+    GroupBinary,
     GroupUnary,
     Join,
     OuterJoin,
@@ -29,6 +38,7 @@ from repro.nal import (
     ProjectAway,
     Rename,
     Select,
+    SelfGroup,
     SemiJoin,
     Sort,
     Table,
@@ -40,11 +50,27 @@ from repro.xmldb.document import DocumentStore
 
 values = st.integers(min_value=0, max_value=4)
 
+#: join/grouping-key values exercising every coercion corner: numbers
+#: vs. numeric strings (equal), booleans (equal only to themselves) and
+#: NULL (equal to nothing, itself included)
+key_values = st.one_of(
+    st.integers(min_value=0, max_value=2),
+    st.booleans(),
+    st.sampled_from(["0", "1", "true", "x"]),
+    st.just(NULL),
+)
+
 
 def run_both(plan):
+    """Evaluate on every engine; assert they agree; return the rows."""
     ctx = EvalContext(DocumentStore())
     reference = plan.evaluate(ctx)
     physical = run_physical(plan, ctx)
+    pipelined = list(run_pipelined(plan, ctx))
+    streamed = list(plan.iterate(ctx))
+    assert physical == reference
+    assert pipelined == reference
+    assert streamed == reference
     return reference, physical
 
 
@@ -59,6 +85,25 @@ def base_tables(draw):
 def right_tables(draw):
     n_rows = draw(st.integers(min_value=0, max_value=6))
     rows = [{"C": draw(values), "D": draw(values)} for _ in range(n_rows)]
+    return Table("R", ["C", "D"], rows)
+
+
+@st.composite
+def mixed_tables(draw):
+    """Left tables whose key attribute A draws from the full coercion
+    minefield (bools, numeric strings, NULL); B stays numeric so
+    aggregates keep working."""
+    n_rows = draw(st.integers(min_value=0, max_value=6))
+    rows = [{"A": draw(key_values), "B": draw(values)}
+            for _ in range(n_rows)]
+    return Table("T", ["A", "B"], rows)
+
+
+@st.composite
+def mixed_right_tables(draw):
+    n_rows = draw(st.integers(min_value=0, max_value=6))
+    rows = [{"C": draw(key_values), "D": draw(values)}
+            for _ in range(n_rows)]
     return Table("R", ["C", "D"], rows)
 
 
@@ -88,8 +133,7 @@ def unary_stacks(draw):
 @settings(max_examples=150, deadline=None)
 @given(plan=unary_stacks())
 def test_unary_compositions(plan):
-    reference, physical = run_both(plan)
-    assert physical == reference
+    run_both(plan)
 
 
 JOIN_PRED = Comparison(AttrRef("A"), "=", AttrRef("C"))
@@ -115,8 +159,43 @@ def test_binary_over_random_left(left, right, kind, theta):
     else:
         plan = Join(left, Select(right, Comparison(
             AttrRef("D"), ">", Const(1))), pred)
-    reference, physical = run_both(plan)
-    assert physical == reference
+    run_both(plan)
+
+
+@settings(max_examples=200, deadline=None)
+@given(left=mixed_tables(), right=mixed_right_tables(),
+       kind=st.integers(min_value=0, max_value=5))
+def test_equality_operators_over_mixed_keys(left, right, kind):
+    """Equality joins and key-based operators over boolean / numeric /
+    string / NULL keys: the hash probes must agree with the reference
+    nested-loop comparisons in every coercion corner."""
+    if kind == 0:
+        plan = Join(left, right, JOIN_PRED)
+    elif kind == 1:
+        plan = SemiJoin(left, right, JOIN_PRED)
+    elif kind == 2:
+        plan = AntiJoin(left, right, JOIN_PRED)
+    elif kind == 3:
+        plan = OuterJoin(left, right, JOIN_PRED, "g", Const(0))
+    elif kind == 4:
+        plan = GroupBinary(left, right, "g", ["A"], "=", ["C"],
+                           AggSpec("count"))
+    else:
+        plan = DistinctProject(Join(left, right, JOIN_PRED), ["A", "D"])
+    run_both(plan)
+
+
+@settings(max_examples=150, deadline=None)
+@given(table=mixed_tables(),
+       agg=st.sampled_from([AggSpec("count"), AggSpec("sum", "B"),
+                            AggSpec("id")]),
+       self_group=st.booleans())
+def test_grouping_over_mixed_keys(table, agg, self_group):
+    if self_group:
+        plan = SelfGroup(table, "g", ["A"], agg)
+    else:
+        plan = GroupUnary(table, "g", ["A"], "=", agg)
+    run_both(plan)
 
 
 @settings(max_examples=150, deadline=None)
@@ -129,8 +208,7 @@ def test_grouping_over_joins(left, right, agg, wrap):
     plan = GroupUnary(joined, "g", ["C"], "=", agg)
     if wrap:
         plan = Project(Sort(plan, ["C"]), ["C", "g"])
-    reference, physical = run_both(plan)
-    assert physical == reference
+    run_both(plan)
 
 
 @settings(max_examples=150, deadline=None)
@@ -141,8 +219,7 @@ def test_projection_stack(left, right):
             DistinctProject(Join(left, right, JOIN_PRED), ["A", "D"]),
             ["D"]),
         {"A": "X"})
-    reference, physical = run_both(plan)
-    assert physical == reference
+    run_both(plan)
 
 
 # ---------------------------------------------------------------------------

@@ -3,8 +3,8 @@ style, lifted to whole queries over randomized documents).
 
 For random documents and random constant predicates, the ``+index``
 plan alternatives must return *byte-identical* output — content, order
-and duplicate handling — to their scan-based base plans, in both the
-physical and the reference execution mode.  Documents mix numeric,
+and duplicate handling — to their scan-based base plans, in the
+physical, pipelined and reference execution modes.  Documents mix numeric,
 numeric-looking and textual values to stress the coercion-faithful
 sorted structures of the value index, plus empty leaves, repeated
 values (duplicate-elimination after the ancestor lift) and items with
@@ -54,6 +54,9 @@ def run_differential(root, query_text):
         assert probed.rows == base.rows, alt.label
         reference = db.execute(alt.plan, mode="reference")
         assert reference.output == base.output, alt.label
+        pipelined = db.execute(alt.plan, mode="pipelined")
+        assert pipelined.output == base.output, alt.label
+        assert pipelined.rows == base.rows, alt.label
     return len(indexed)
 
 

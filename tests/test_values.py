@@ -1,6 +1,7 @@
 """NAL value model: tuples, NULL, atomization, comparison, keys."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import EvaluationError
 from repro.nal.values import (
@@ -156,6 +157,51 @@ def test_canonical_key_consistent_with_equality():
 
 def test_canonical_key_bool_distinct_from_number():
     assert canonical_key(True) != canonical_key(1)
+
+
+def test_bool_comparison_agrees_with_canonical_key():
+    """Regression: compare_atomic used to coerce the other operand with
+    bool(), making True = 1 (and even True = "x") while canonical_key
+    kept booleans distinct — so hash joins, ΠD and grouping silently
+    diverged from the reference nested-loop semantics on booleans."""
+    assert not compare_atomic(True, "=", 1)
+    assert compare_atomic(True, "!=", 1)
+    assert not compare_atomic(1, "=", True)
+    assert not compare_atomic(False, "=", 0)
+    assert not compare_atomic(True, "=", "true")
+    assert not compare_atomic(True, "=", "x")
+    assert not compare_atomic(False, "=", "")
+    assert compare_atomic(True, "=", True)
+    assert compare_atomic(False, "=", False)
+    assert compare_atomic(True, "!=", False)
+
+
+def test_bool_order_comparison_rejected():
+    with pytest.raises(EvaluationError, match="booleans"):
+        compare_atomic(True, "<", False)
+    with pytest.raises(EvaluationError, match="booleans"):
+        compare_atomic(1, ">=", True)
+
+
+_atoms = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-3, max_value=3),
+    st.floats(allow_nan=False, allow_infinity=False,
+              min_value=-4, max_value=4),
+    st.sampled_from(["", "0", "1", "1.0", "true", "false", "x", "abc"]),
+)
+
+
+@settings(max_examples=500, deadline=None)
+@given(a=_atoms, b=_atoms)
+def test_compare_atomic_iff_canonical_key(a, b):
+    """The documented invariant every hash-based operator relies on:
+    for atomizable non-NULL values (booleans included), equality under
+    compare_atomic is exactly equality of canonical keys."""
+    assert compare_atomic(a, "=", b) == (canonical_key(a)
+                                         == canonical_key(b))
+    assert compare_atomic(a, "!=", b) == (canonical_key(a)
+                                          != canonical_key(b))
 
 
 def test_sort_key_total_order():
