@@ -6,7 +6,7 @@ conditions — a counter-example where the optimizer must *refuse* the
 rewrite (the DBLP case of §5.1, the missing condition in Paparizos et
 al. that the paper corrects).
 
-Two final sections show the other optimizer axes this repository adds:
+Three final sections show the other engine axes this repository adds:
 
 - access-path selection — the same query explained against a store
   without indexes (every leaf is a document scan) and against one with
@@ -16,7 +16,13 @@ Two final sections show the other optimizer axes this repository adds:
   ``mode="physical"`` (every operator materializes) and
   ``mode="pipelined"`` (operators yield on demand and quantifier
   subscripts stop at the first witness), with the scan statistics and
-  per-operator EXPLAIN ANALYZE row counts side by side.
+  per-operator EXPLAIN ANALYZE row counts side by side;
+- arena storage — registered documents are finalized into an
+  interval-encoded arena (pre/post/level columns, interned tag names),
+  so a ``//tag`` step is a binary search over a contiguous row range;
+  the section prints the arena's statistics and the same descendant
+  query's EXPLAIN ANALYZE under the range scan vs. the legacy pointer
+  walk.
 
 Run with::
 
@@ -169,6 +175,7 @@ return <popular-item> { $i1 } </popular-item>
 
     show_access_paths()
     show_pipelined_execution()
+    show_arena_storage()
 
 
 def show_access_paths() -> None:
@@ -242,6 +249,58 @@ return <hot-item> { $i1/itemno } </hot-item>
     assert outputs["physical"] == outputs["pipelined"]
     print("  outputs are byte-identical; the pipelined run stopped each"
           " inner bid scan at the first witness.")
+    print()
+
+
+def show_arena_storage() -> None:
+    """The interval-encoded document store: registration freezes the
+    tree into struct-of-arrays columns with pre/post/level numbering,
+    so structural containment is one integer comparison and every
+    ``//tag`` step is a binary search plus a contiguous range scan
+    over exactly the matching rows — compare the node visits in the
+    two EXPLAIN ANALYZE runs below (same plan, same documents; the
+    ``walk`` run disables arena acceleration, which is the legacy
+    object-graph behaviour)."""
+    from repro.datagen import ITEMS_DTD, generate_items
+    from repro.engine.executor import analyze_to_string
+    from repro.xmldb import arena
+
+    db = Database()
+    db.register_tree("items.xml", generate_items(300, seed=3),
+                     dtd_text=ITEMS_DTD)
+    document = db.store.get("items.xml")
+    stats = document.arena.stats()
+    print(SEPARATOR)
+    print("Arena storage — interval-encoded descendant range scans")
+    print(f"  arena of 'items.xml': {stats['rows']} rows "
+          f"({stats['kinds']['element']} elements, "
+          f"{stats['kinds']['text']} text), "
+          f"{stats['distinct_names']} interned names, "
+          f"max depth {stats['max_depth']}")
+    top_tags = list(stats["tag_counts"].items())[:4]
+    print(f"  tag counts (top): "
+          + ", ".join(f"{t}={c}" for t, c in top_tags))
+    query = compile_query("""
+let $d1 := doc("items.xml")
+for $r1 in $d1//reserveprice
+where $r1 >= 400
+return <pricey> { $r1 } </pricey>
+""", db)
+    plan = query.best().plan
+    outputs = {}
+    for label, accelerated in (("walk (pointer-chasing baseline)",
+                                False),
+                               ("arena (range scan)", True)):
+        with arena.acceleration(accelerated):
+            result = db.execute(plan, analyze=True)
+        outputs[label] = result.output
+        print(f"  {label}: {result.elapsed:.4f}s, "
+              f"node_visits={result.stats['node_visits']}")
+        for line in analyze_to_string(plan, result).splitlines():
+            print(f"    {line}")
+    assert len(set(outputs.values())) == 1
+    print("  outputs are byte-identical; the range scan touched only"
+          " the reserveprice rows inside the scanned interval.")
     print()
 
 

@@ -10,6 +10,12 @@ Run an XQuery against XML documents and inspect the optimizer's work::
 Documents are registered under their file name (so ``doc("bib.xml")``
 finds ``data/bib.xml``); a sibling ``<name>.dtd`` file, or a DOCTYPE in
 the document itself, becomes the optimizer's schema.
+
+The ``stats`` subcommand prints a registered document's arena
+statistics (row/kind counts, per-tag element counts, depth histogram —
+the exact numbers the cost model plans with)::
+
+    python -m repro stats bib.xml --docs ./data
 """
 
 from __future__ import annotations
@@ -94,7 +100,55 @@ def register_documents(db: Database, args: argparse.Namespace) -> int:
     return count
 
 
+def build_stats_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro stats",
+        description="Print a document's arena statistics (node counts "
+                    "per tag, depth histogram).")
+    parser.add_argument("document",
+                        help="registered name of the document to "
+                             "inspect (e.g. bib.xml)")
+    parser.add_argument("--doc", action="append", default=[],
+                        metavar="NAME=PATH",
+                        help="register PATH under document NAME "
+                             "(repeatable)")
+    parser.add_argument("--docs", metavar="DIR",
+                        help="register every *.xml file in DIR under "
+                             "its file name")
+    return parser
+
+
+def stats_main(argv: list[str]) -> int:
+    args = build_stats_arg_parser().parse_args(argv)
+    try:
+        db = Database()
+        register_documents(db, args)
+        document = db.store.get(args.document)
+        stats = document.arena.stats()
+        kinds = stats["kinds"]
+        print(f"arena statistics for {args.document!r}")
+        print(f"  rows            : {stats['rows']} "
+              f"(elements {kinds['element']}, text {kinds['text']}, "
+              f"attributes {kinds['attribute']})")
+        print(f"  distinct names  : {stats['distinct_names']}")
+        print(f"  max depth       : {stats['max_depth']}")
+        print(f"  average fanout  : {stats['average_fanout']}")
+        print("  tag counts:")
+        for tag, count in stats["tag_counts"].items():
+            print(f"    {tag:<24} {count}")
+        print("  depth histogram (elements per level):")
+        for level, count in stats["depth_histogram"].items():
+            print(f"    level {level:<3} {count}")
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else argv
+    if argv and argv[0] == "stats":
+        return stats_main(argv[1:])
     args = build_arg_parser().parse_args(argv)
     try:
         text = load_query_text(args)

@@ -36,7 +36,14 @@ from repro.nal.algebra import Operator, bind_item, scalar_env
 from repro.nal.construct import Construct, GroupConstruct
 from repro.nal.group_ops import GroupBinary, GroupUnary, SelfGroup
 from repro.nal.join_ops import AntiJoin, Cross, Join, OuterJoin, SemiJoin
-from repro.nal.scalar import AttrRef, Comparison, ScalarExpr, conjuncts
+from repro.nal.scalar import (
+    AttrRef,
+    Comparison,
+    PathApply,
+    ScalarExpr,
+    conjuncts,
+    iter_path_items,
+)
 from repro.nal.unary_ops import (
     DistinctProject,
     IndexScan,
@@ -223,6 +230,16 @@ def _map(plan: Map, ctx, env: Tup, path) -> list[Tup]:
 
 def _unnest_map(plan: UnnestMap, ctx, env: Tup, path) -> list[Tup]:
     result = []
+    if isinstance(plan.expr, PathApply):
+        # Path-valued Υ streams the scan as a range iteration over the
+        # arena (document order is inherent to a single-step stream, so
+        # the evaluator's dedup/sort pass is skipped; the sequence is
+        # identical by construction).
+        for t in _child(plan, 0, ctx, env, path):
+            for item in iter_path_items(plan.expr, scalar_env(env, t),
+                                        ctx):
+                result.append(t.extend(plan.attr, bind_item(item)))
+        return result
     for t in _child(plan, 0, ctx, env, path):
         for item in iter_items(plan.expr.evaluate(scalar_env(env, t),
                                                   ctx)):

@@ -56,6 +56,7 @@ from repro.nal.scalar import (
     PathApply,
     ScalarExpr,
     TupledSeq,
+    iter_path_items,
 )
 from repro.nal.unary_ops import (
     DistinctProject,
@@ -88,10 +89,6 @@ from repro.engine.physical import (
     self_group_rows,
     split_equi_conjuncts,
 )
-from repro.xmldb.node import Node
-from repro.xpath.ast import Path as XPath
-from repro.xpath.evaluator import _matches as _node_matches
-from repro.xpath.evaluator import evaluate_path
 
 
 def run_pipelined(plan: Operator, ctx, env: Tup = EMPTY_TUPLE,
@@ -194,57 +191,13 @@ def iter_subscript(expr: ScalarExpr, env: Tup, ctx):
         for item in iter_subscript(expr.inner, env, ctx):
             yield Tup({expr.attr: item})
     elif isinstance(expr, PathApply):
-        yield from _iter_path(expr, env, ctx)
+        # Streamed via the shared helper: a single unpredicated step
+        # from one context node iterates the arena row interval (or the
+        # walk) lazily, so a short-circuiting consumer also stops the
+        # scan itself; anything else falls back to evaluate_path.
+        yield from iter_path_items(expr, env, ctx)
     else:
         yield from iter_items(expr.evaluate(env, ctx))
-
-
-def _iter_path(expr: PathApply, env: Tup, ctx) -> Iterator[Node]:
-    """Stream a path application when the result order is inherent.
-
-    A single ``child``/``descendant`` step without predicates from one
-    context node yields document order with no duplicates, so the
-    evaluator's materialize-dedup-sort pass is unnecessary and the walk
-    can stop as soon as the consumer does.  Anything else falls back to
-    :func:`repro.xpath.evaluator.evaluate_path`.
-    """
-    value = expr.source.evaluate(env, ctx)
-    items = iter_items(value)
-    nodes = [v for v in items if isinstance(v, Node)]
-    if len(nodes) != len(items):
-        raise EvaluationError(
-            f"path applied to non-node value(s): {value!r}")
-    path = expr.path
-    if nodes and path.steps:
-        # Same root-self collapse as PathApply.evaluate.
-        first = path.steps[0]
-        if (first.axis == "child"
-                and all(n.parent is None for n in nodes)
-                and all(getattr(first.test, "name", None) == n.name
-                        for n in nodes)):
-            path = XPath(path.steps[1:], absolute=path.absolute)
-    if (len(nodes) == 1 and len(path.steps) == 1
-            and not path.steps[0].predicates
-            and path.steps[0].axis in ("child", "descendant")):
-        yield from _stream_step(nodes[0], path.steps[0], ctx.stats)
-        return
-    yield from evaluate_path(nodes, path, stats=ctx.stats)
-
-
-def _stream_step(node: Node, step, stats) -> Iterator[Node]:
-    # Scan accounting mirrors repro.xpath.evaluator._step_from, except
-    # node visits are recorded as the walk proceeds: a short-circuited
-    # scan charges only the nodes it actually touched.
-    if stats is not None and node.parent is None \
-            and node.document is not None:
-        stats.record_scan(node.document.name)
-    candidates = (node.children if step.axis == "child"
-                  else node.iter_descendants())
-    for candidate in candidates:
-        if stats is not None:
-            stats.record_visits(1)
-        if _node_matches(candidate, step):
-            yield candidate
 
 
 def _pred_ok(preds: list[ScalarExpr], combined: Tup, env: Tup,

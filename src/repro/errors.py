@@ -72,6 +72,22 @@ class UnknownDocumentError(EvaluationError):
         self.name = name
 
 
+class FrozenDocumentError(ReproError):
+    """Raised on mutation of a document finalized into an arena.
+
+    Registration freezes a document's tree: the string-value cache, the
+    interval encoding and the optimizer's schema facts all assume the
+    text and structure never change afterwards.
+    """
+
+    def __init__(self, document_name: str):
+        super().__init__(
+            f"document {document_name!r} is finalized; trees are "
+            f"immutable once registered (build a new tree and register "
+            f"it under a fresh name instead)")
+        self.document_name = document_name
+
+
 class DuplicateDocumentError(ReproError):
     """Raised when a document name is registered twice in one store."""
 

@@ -43,14 +43,19 @@ class DocumentIndexes:
 
 
 def build_indexes(document) -> DocumentIndexes:
-    """Build element/path/value indexes for a registered document."""
+    """Build element/path/value indexes for a registered document.
+
+    All three are views over the document's interval-encoded arena
+    (storing ``pre`` row ids, not object references), so they share the
+    columns the document already owns."""
     root = document.root
-    path_index = PathIndex(root)
+    arena = document.arena
+    path_index = PathIndex(root, arena)
     violations: tuple[TagPath, ...] = ()
     if document.dtd is not None:
         violations = path_index.validate_against_dtd(document.dtd)
-    return DocumentIndexes(ElementIndex(root), path_index,
-                           ValueIndex(root), violations)
+    return DocumentIndexes(ElementIndex(root, arena), path_index,
+                           ValueIndex(root, arena), violations)
 
 
 class IndexManager:

@@ -1,11 +1,15 @@
 """Structural indexes: element index and path index (DataGuide).
 
-Both are built in one pre-order walk over a document, so every node list
-they store is in document order — a probe returns its result without
-sorting, which is what lets :class:`~repro.nal.unary_ops.IndexScan`
-replace a document scan without an order-restoring sort (the paper's
-Natix pays that sort after its Grace hash join; our order-preserving
-structures avoid it the same way the order-preserving hash join does).
+Both are views over a document's interval-encoded
+:class:`~repro.xmldb.arena.Arena`: instead of object references they
+store ``pre`` row ids, which are already in document order — a probe
+returns its result without sorting, which is what lets
+:class:`~repro.nal.unary_ops.IndexScan` replace a document scan without
+an order-restoring sort (the paper's Natix pays that sort after its
+Grace hash join; our order-preserving structures avoid it the same way
+the order-preserving hash join does).  Merging several pre lists is an
+integer sort; nodes are materialized from the arena's interned handle
+table only at lookup time.
 
 - :class:`ElementIndex` maps a tag name to the document-order list of
   elements carrying it.
@@ -15,6 +19,10 @@ structures avoid it the same way the order-preserving hash join does).
   it.  Patterns with ``descendant`` steps are answered by matching the
   pattern against the stored paths — the set of distinct paths is tiny
   compared to the document (bounded by the DTD, not the data).
+
+Unregistered trees (tests build indexes over loose builder trees) are
+encoded into a throwaway arena first — the index code is columnar
+either way.
 
 When the document has a DTD, :meth:`PathIndex.validate_against_dtd`
 cross-checks every stored path against the declared content models; a
@@ -26,63 +34,48 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+from repro.xmldb.arena import Arena, arena_for
 from repro.xmldb.dtd import DTD
-from repro.xmldb.node import Node, NodeKind
+from repro.xmldb.node import Node
 
 #: a concrete root-to-node tag path, e.g. ("items", "itemtuple", "@id")
 TagPath = tuple[str, ...]
 
 
-def walk_with_paths(root: Node):
-    """Pre-order iterator ``(node, tag_path)`` over the elements and
-    attribute nodes of a tree.  The order of iteration is document order
-    (attributes immediately after their owner, as ``assign_order_keys``
-    numbers them); text nodes carry no name and are skipped."""
-
-    def visit(node: Node, path: TagPath):
-        yield node, path
-        for attr in node.attributes:
-            yield attr, path + (f"@{attr.name}",)
-        for child in node.children:
-            if child.kind is NodeKind.ELEMENT:
-                yield from visit(child, path + (child.name,))
-
-    yield from visit(root, (root.name,))
-
-
 class ElementIndex:
-    """Tag name → document-order list of elements with that tag."""
+    """Tag name → document-order ``pre`` list of elements with that
+    tag (the arena's own per-tag row lists, shared, not copied)."""
 
-    def __init__(self, root: Node):
+    def __init__(self, root: Node, arena: Arena | None = None):
         self.root = root
-        self._by_tag: dict[str, list[Node]] = {}
-        for node, _ in walk_with_paths(root):
-            if node.kind is NodeKind.ELEMENT:
-                self._by_tag.setdefault(node.name, []).append(node)
+        self._arena = arena if arena is not None else arena_for(root)
 
     def lookup(self, tag: str, include_root: bool = False) -> list[Node]:
         """All ``tag`` elements in document order.  By default the root
         element is excluded, matching the ``//tag`` (descendant-from-
         root) semantics the access-path pass rewrites."""
-        nodes = self._by_tag.get(tag, [])
-        if not include_root and nodes and nodes[0] is self.root:
-            return nodes[1:]
-        return list(nodes)
+        arena = self._arena
+        pres = arena.tag_rows(tag)
+        if not include_root and pres and pres[0] == 0:
+            pres = pres[1:]
+        nodes = arena.nodes
+        return [nodes[pre] for pre in pres]
 
     def count(self, tag: str) -> int:
-        return len(self._by_tag.get(tag, ()))
+        return self._arena.tag_count(tag)
 
     def tags(self) -> list[str]:
-        return sorted(self._by_tag)
+        return self._arena.tag_names()
 
 
 class PathIndex:
-    """DataGuide: root-to-node tag path → document-order node list."""
+    """DataGuide: root-to-node tag path → document-order ``pre`` list."""
 
-    def __init__(self, root: Node):
-        self._by_path: dict[TagPath, list[Node]] = {}
-        for node, path in walk_with_paths(root):
-            self._by_path.setdefault(path, []).append(node)
+    def __init__(self, root: Node, arena: Arena | None = None):
+        self._arena = arena if arena is not None else arena_for(root)
+        self._by_path: dict[TagPath, list[int]] = {}
+        for pre, path in self._arena.iter_paths():
+            self._by_path.setdefault(path, []).append(pre)
         # Pattern matching is memoized per (pattern, path); the distinct
         # path set is small and patterns repeat across probes.
         self._match = lru_cache(maxsize=4096)(_pattern_matches)
@@ -91,7 +84,8 @@ class PathIndex:
         return sorted(self._by_path)
 
     def nodes_at(self, path: TagPath) -> list[Node]:
-        return list(self._by_path.get(path, ()))
+        nodes = self._arena.nodes
+        return [nodes[pre] for pre in self._by_path.get(path, ())]
 
     def matching_paths(self, steps: tuple[tuple[str, str], ...]
                        ) -> list[TagPath]:
@@ -103,15 +97,17 @@ class PathIndex:
 
     def lookup(self, steps: tuple[tuple[str, str], ...]) -> list[Node]:
         """All nodes whose tag path matches the pattern, merged into
-        document order."""
+        document order (an integer sort over pre ids)."""
         matched = self.matching_paths(steps)
         if len(matched) == 1:
-            return list(self._by_path[matched[0]])
-        nodes: list[Node] = []
-        for path in matched:
-            nodes.extend(self._by_path[path])
-        nodes.sort(key=lambda n: n.order_key)
-        return nodes
+            pres: list[int] = self._by_path[matched[0]]
+        else:
+            pres = []
+            for path in matched:
+                pres.extend(self._by_path[path])
+            pres.sort()
+        nodes = self._arena.nodes
+        return [nodes[pre] for pre in pres]
 
     def count(self, steps: tuple[tuple[str, str], ...]) -> int:
         """Cardinality of :meth:`lookup` without the merge and sort."""

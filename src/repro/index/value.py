@@ -1,12 +1,15 @@
-"""Sorted value index: (tag path, typed atomic value) → node lists.
+"""Sorted value index: (tag path, typed atomic value) → pre-id lists.
 
 Indexed entries are the *atomic* nodes of a document — attribute nodes
 and elements without element children — keyed by their string value
 under the engine's documented coercion rule (see
 :mod:`repro.nal.values`): two atomized values compare numerically when
-both parse as numbers, as strings otherwise.  A probe must return
-exactly the nodes a scan-and-compare would keep, so the index maintains
-three sorted views per path:
+both parse as numbers, as strings otherwise.  Entries are stored as
+``pre`` row ids into the document's interval-encoded arena (document
+order *is* integer order, so restoring it after a probe is an int
+sort); node handles are materialized from the arena only on lookup.
+A probe must return exactly the nodes a scan-and-compare would keep,
+so the index maintains three sorted views per path:
 
 - ``by_key`` — canonical-key buckets for equality probes (consistent
   with :func:`~repro.nal.values.canonical_key` by construction);
@@ -30,69 +33,69 @@ from bisect import bisect_left, bisect_right
 from typing import Any
 
 from repro.errors import EvaluationError
-from repro.index.structural import TagPath, walk_with_paths
+from repro.index.structural import TagPath
 from repro.nal.values import _as_number, canonical_key
+from repro.xmldb.arena import Arena, arena_for
 from repro.xmldb.node import Node, NodeKind
+
 
 RANGE_OPS = ("<", "<=", ">", ">=")
 
 
 class _PathValues:
-    """The sorted structures for one tag path."""
+    """The sorted structures for one tag path (entries are
+    ``(string value, pre)`` pairs)."""
 
-    __slots__ = ("by_key", "num_keys", "num_nodes", "text_keys",
-                 "text_nodes", "all_keys", "all_nodes")
+    __slots__ = ("by_key", "num_keys", "num_pres", "text_keys",
+                 "text_pres", "all_keys", "all_pres")
 
-    def __init__(self, entries: list[tuple[str, Node]]):
+    def __init__(self, entries: list[tuple[str, int]]):
         # NaN-parsing texts ("nan") compare false against every number
         # under compare_atomic, and a NaN sort key would leave the
         # bisect arrays unsorted — keep them out of the numeric views
         # and the equality buckets entirely (they stay in the all-text
         # array, where string-typed constants do reach them).
-        self.by_key: dict[Any, list[Node]] = {}
-        for text, node in entries:
+        self.by_key: dict[Any, list[int]] = {}
+        for text, pre in entries:
             if not _is_nan_text(text):
                 self.by_key.setdefault(canonical_key(text),
-                                       []).append(node)
-        numeric = [(n, t, node) for t, node in entries
+                                       []).append(pre)
+        numeric = [(n, t, pre) for t, pre in entries
                    if (n := _as_number(t)) is not None
                    and not math.isnan(n)]
-        numeric.sort(key=lambda e: (e[0], e[2].order_key))
+        numeric.sort(key=lambda e: (e[0], e[2]))
         self.num_keys = [e[0] for e in numeric]
-        self.num_nodes = [e[2] for e in numeric]
-        textual = [(t, node) for t, node in entries
+        self.num_pres = [e[2] for e in numeric]
+        textual = [(t, pre) for t, pre in entries
                    if _as_number(t) is None]
-        textual.sort(key=lambda e: (e[0], e[1].order_key))
+        textual.sort()
         self.text_keys = [e[0] for e in textual]
-        self.text_nodes = [e[1] for e in textual]
-        everything = sorted(entries, key=lambda e: (e[0], e[1].order_key))
+        self.text_pres = [e[1] for e in textual]
+        everything = sorted(entries)
         self.all_keys = [e[0] for e in everything]
-        self.all_nodes = [e[1] for e in everything]
+        self.all_pres = [e[1] for e in everything]
 
     def __len__(self) -> int:
         return len(self.all_keys)
 
 
-def _is_atomic(node: Node) -> bool:
-    """Indexable nodes: attributes, and elements with no element
-    children (their string value is their own text, not a concatenation
-    of a subtree)."""
-    if node.kind is NodeKind.ATTRIBUTE:
-        return True
-    return node.kind is NodeKind.ELEMENT and \
-        not any(c.kind is NodeKind.ELEMENT for c in node.children)
-
-
 class ValueIndex:
     """Per-document value index over every atomic tag path."""
 
-    def __init__(self, root: Node):
-        grouped: dict[TagPath, list[tuple[str, Node]]] = {}
+    def __init__(self, root: Node, arena: Arena | None = None):
+        arena = arena if arena is not None else arena_for(root)
+        self._arena = arena
+        kinds, child_lists = arena.kinds, arena.child_lists
+        grouped: dict[TagPath, list[tuple[str, int]]] = {}
         non_atomic: set[TagPath] = set()
-        for node, path in walk_with_paths(root):
-            if _is_atomic(node):
+        for pre, path in arena.iter_paths():
+            # Indexable rows: attributes, and elements with no element
+            # children (their string value is their own text, not a
+            # concatenation of a subtree).
+            if kinds[pre] is NodeKind.ATTRIBUTE or not any(
+                    c.kind is NodeKind.ELEMENT for c in child_lists[pre]):
                 grouped.setdefault(path, []).append(
-                    (node.string_value(), node))
+                    (arena.string_value(pre), pre))
             else:
                 non_atomic.add(path)
         # A path is value-indexed only if *every* node at it is atomic;
@@ -117,8 +120,8 @@ class ValueIndex:
         return 0 if values is None else len(values.by_key)
 
     # ------------------------------------------------------------------
-    def probe(self, path: TagPath, op: str, value: Any) -> list[Node]:
-        """Nodes at ``path`` whose value satisfies ``value'' θ value``
+    def probe_pres(self, path: TagPath, op: str, value: Any) -> list[int]:
+        """Pre ids at ``path`` whose value satisfies ``value'' θ value``
         under the engine's coercion rule, in document order."""
         if isinstance(value, bool):
             raise EvaluationError(
@@ -130,32 +133,35 @@ class ValueIndex:
         if values is None:
             return []
         if op == "=":
-            nodes = list(values.by_key.get(canonical_key(value), ()))
-            nodes.sort(key=lambda n: n.order_key)
-            return nodes
+            return sorted(values.by_key.get(canonical_key(value), ()))
         if op not in RANGE_OPS:
             raise EvaluationError(
                 f"value probes support = and ranges; got {op!r}")
         number = _as_number(value)
         if number is None:
             # Non-numeric constant: every pair compares as strings.
-            nodes = _bisect(values.all_keys, values.all_nodes, op,
-                            str(value))
+            pres = _bisect(values.all_keys, values.all_pres, op,
+                           str(value))
         elif math.isnan(number):
             # A NaN constant compares false against every numeric
             # entry; only the string fallback of non-numeric entries
             # (text θ "nan") can still match.
-            nodes = _bisect(values.text_keys, values.text_nodes, op,
-                            str(value))
+            pres = _bisect(values.text_keys, values.text_pres, op,
+                           str(value))
         else:
             # Numeric constant: numeric entries compare numerically,
             # non-numeric entries fall back to string comparison
             # against the constant's string form.
-            nodes = _bisect(values.num_keys, values.num_nodes, op, number)
-            nodes += _bisect(values.text_keys, values.text_nodes, op,
-                             str(value))
-        nodes.sort(key=lambda n: n.order_key)
-        return nodes
+            pres = _bisect(values.num_keys, values.num_pres, op, number)
+            pres += _bisect(values.text_keys, values.text_pres, op,
+                            str(value))
+        pres.sort()
+        return pres
+
+    def probe(self, path: TagPath, op: str, value: Any) -> list[Node]:
+        """:meth:`probe_pres` materialized into node handles."""
+        nodes = self._arena.nodes
+        return [nodes[pre] for pre in self.probe_pres(path, op, value)]
 
     def count(self, path: TagPath, op: str, value: Any) -> int:
         """Cardinality of :meth:`probe` without materializing nodes —
@@ -185,11 +191,13 @@ class ValueIndex:
                     low_inclusive: bool = True,
                     high_inclusive: bool = True) -> list[Node]:
         """Convenience conjunction ``low θ value θ high`` (one sorted
-        intersection instead of two probes)."""
-        lower = self.probe(path, ">=" if low_inclusive else ">", low)
-        upper = set(id(n) for n in self.probe(
+        intersection instead of two probes — over int pre ids)."""
+        lower = self.probe_pres(path, ">=" if low_inclusive else ">",
+                                low)
+        upper = set(self.probe_pres(
             path, "<=" if high_inclusive else "<", high))
-        return [n for n in lower if id(n) in upper]
+        nodes = self._arena.nodes
+        return [nodes[pre] for pre in lower if pre in upper]
 
 
 def _is_nan_text(text: str) -> bool:
@@ -197,14 +205,14 @@ def _is_nan_text(text: str) -> bool:
     return number is not None and math.isnan(number)
 
 
-def _bisect(keys: list, nodes: list[Node], op: str, bound) -> list[Node]:
+def _bisect(keys: list, pres: list[int], op: str, bound) -> list[int]:
     if op == "<":
-        return nodes[:bisect_left(keys, bound)]
+        return pres[:bisect_left(keys, bound)]
     if op == "<=":
-        return nodes[:bisect_right(keys, bound)]
+        return pres[:bisect_right(keys, bound)]
     if op == ">":
-        return nodes[bisect_right(keys, bound):]
-    return nodes[bisect_left(keys, bound):]
+        return pres[bisect_right(keys, bound):]
+    return pres[bisect_left(keys, bound):]
 
 
 def _bisect_count(keys: list, op: str, bound) -> int:

@@ -32,7 +32,8 @@ from repro.nal.values import (
 )
 from repro.xmldb.node import Node
 from repro.xpath.ast import Path
-from repro.xpath.evaluator import evaluate_path
+from repro.xpath.evaluator import evaluate_path, iter_step, \
+    streamable_step
 
 
 class ScalarExpr:
@@ -311,20 +312,7 @@ class PathApply(ScalarExpr):
         self.path = path
 
     def evaluate(self, env: Tup, ctx) -> list[Node]:
-        value = self.source.evaluate(env, ctx)
-        nodes = [v for v in iter_items(value) if isinstance(v, Node)]
-        if len(nodes) != len(iter_items(value)):
-            raise EvaluationError(
-                f"path applied to non-node value(s): {value!r}")
-        path = self.path
-        if nodes and path.steps:
-            first = path.steps[0]
-            if (first.axis == "child"
-                    and all(n.parent is None for n in nodes)
-                    and all(getattr(first.test, "name", None) == n.name
-                            for n in nodes)):
-                from repro.xpath.ast import Path as XPath
-                path = XPath(path.steps[1:], absolute=path.absolute)
+        nodes, path = _path_context(self, env, ctx)
         return evaluate_path(nodes, path, stats=ctx.stats)
 
     def free_attrs(self) -> frozenset[str]:
@@ -343,6 +331,48 @@ class PathApply(ScalarExpr):
         path_text = str(self.path)
         sep = "" if path_text.startswith("/") else "/"
         return f"{self.source!r}{sep}{path_text}"
+
+
+def _path_context(expr: PathApply, env: Tup, ctx) -> tuple[list[Node],
+                                                           Path]:
+    """The context nodes and effective path of a :class:`PathApply`:
+    evaluates the source, rejects non-node items, and collapses a
+    leading child step that names the document root itself (the
+    ``doc("bib.xml")/bib`` convenience) into ``self``."""
+    value = expr.source.evaluate(env, ctx)
+    nodes = [v for v in iter_items(value) if isinstance(v, Node)]
+    if len(nodes) != len(iter_items(value)):
+        raise EvaluationError(
+            f"path applied to non-node value(s): {value!r}")
+    path = expr.path
+    if nodes and path.steps:
+        first = path.steps[0]
+        if (first.axis == "child"
+                and all(n.parent is None for n in nodes)
+                and all(getattr(first.test, "name", None) == n.name
+                        for n in nodes)):
+            path = Path(path.steps[1:], absolute=path.absolute)
+    return nodes, path
+
+
+def iter_path_items(expr: PathApply, env: Tup, ctx):
+    """Stream a path application's result nodes on demand.
+
+    Yields exactly ``iter_items(expr.evaluate(env, ctx))``, but a
+    single unpredicated ``child``/``descendant`` step from one context
+    node bypasses the evaluator's materialize-dedup-sort pass and walks
+    the document (or its arena row interval) lazily — so a
+    short-circuiting consumer also stops the scan itself.  Both engines
+    use this: the pipelined engine for its streaming Υ and quantifier
+    sources, the physical engine to materialize Υ output without the
+    redundant dedup/sort.
+    """
+    nodes, path = _path_context(expr, env, ctx)
+    step = streamable_step(nodes, path)
+    if step is not None:
+        yield from iter_step(nodes[0], step, ctx.stats)
+        return
+    yield from evaluate_path(nodes, path, stats=ctx.stats)
 
 
 class NestedPlan(ScalarExpr):

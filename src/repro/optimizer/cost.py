@@ -53,7 +53,6 @@ from repro.nal.unary_ops import (
     UnnestMap,
 )
 from repro.xmldb.document import DocumentStore
-from repro.xmldb.node import NodeKind
 from repro.xpath.ast import NameTest, Path
 
 #: selectivity assumed for predicates the model cannot analyse
@@ -63,25 +62,23 @@ DEFAULT_FANOUT = 2.0
 
 
 class TagStatistics:
-    """Exact per-document tag counts, computed lazily per store."""
+    """Exact per-document tag statistics, read straight off each
+    document's arena columns (the per-tag row lists the interval
+    encoding maintains anyway) — no tree walk, no estimation."""
 
     def __init__(self, store: DocumentStore):
         self.store = store
         self._counts: dict[str, dict[str, int]] = {}
         self._totals: dict[str, int] = {}
+        self._fanouts: dict[str, float] = {}
 
     def _ensure(self, doc_name: str) -> None:
         if doc_name in self._counts or doc_name not in self.store:
             return
-        counts: dict[str, int] = {}
-        total = 0
-        root = self.store.get(doc_name).root
-        for node in root.iter_descendants(include_self=True):
-            if node.kind is NodeKind.ELEMENT:
-                counts[node.name] = counts.get(node.name, 0) + 1
-                total += 1
-        self._counts[doc_name] = counts
-        self._totals[doc_name] = total
+        arena = self.store.get(doc_name).arena
+        self._counts[doc_name] = arena.tag_counts()
+        self._totals[doc_name] = arena.element_count
+        self._fanouts[doc_name] = arena.average_fanout()
 
     def tag_count(self, doc_name: str, tag: str) -> float:
         """Number of ``tag`` elements in the document (0 if unknown)."""
@@ -92,6 +89,12 @@ class TagStatistics:
         """Total elements — the cost of one full scan."""
         self._ensure(doc_name)
         return float(self._totals.get(doc_name, 0)) or 100.0
+
+    def average_fanout(self, doc_name: str) -> float:
+        """Exact mean child-elements per internal element (falls back
+        to :data:`DEFAULT_FANOUT` for unknown documents)."""
+        self._ensure(doc_name)
+        return self._fanouts.get(doc_name) or DEFAULT_FANOUT
 
 
 @dataclass
@@ -328,8 +331,11 @@ class CostModel:
                 count = self.stats.tag_count(doc_name, test.name)
                 if count:
                     return count
+        # No resolvable name test (wildcards / text()): estimate one
+        # fanout's worth of nodes per element at the second-deepest
+        # level — the arena's exact average fanout, not a guess.
         return max(1.0, self.stats.element_count(doc_name)
-                   * 0.1)
+                   / max(1.0, self.stats.average_fanout(doc_name)))
 
 
     def _root_document(self, expr: ScalarExpr) -> str | None:

@@ -3,7 +3,10 @@
 This subpackage provides:
 
 - :mod:`repro.xmldb.node` — the node model (elements, text, attributes)
-  with global document order;
+  with global document order: mutable builder trees that freeze into
+  lightweight ``(arena, pre)`` handles at registration;
+- :mod:`repro.xmldb.arena` — the interval-encoded (pre/post/level)
+  struct-of-arrays document storage behind finalized documents;
 - :mod:`repro.xmldb.parser` — a from-scratch, non-validating XML parser;
 - :mod:`repro.xmldb.serialize` — serialization back to XML text;
 - :mod:`repro.xmldb.dtd` — a DTD parser and the :class:`SchemaInfo`
@@ -13,6 +16,7 @@ This subpackage provides:
 """
 
 from repro.xmldb.node import Node, NodeKind
+from repro.xmldb.arena import Arena
 from repro.xmldb.parser import parse_document
 from repro.xmldb.serialize import serialize
 from repro.xmldb.dtd import DTD, SchemaInfo, parse_dtd
@@ -21,6 +25,7 @@ from repro.xmldb.document import Document, DocumentStore
 __all__ = [
     "Node",
     "NodeKind",
+    "Arena",
     "parse_document",
     "serialize",
     "DTD",

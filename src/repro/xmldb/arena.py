@@ -1,0 +1,314 @@
+"""Interval-encoded arena storage for finalized documents.
+
+When a document is registered with a :class:`~repro.xmldb.document.
+DocumentStore` its builder tree is *finalized* into an :class:`Arena`:
+a struct-of-arrays encoding in which every node occupies one row,
+numbered in document order (``pre``), with parallel columns
+
+- ``kinds``   — :class:`~repro.xmldb.node.NodeKind` per row,
+- ``name_ids`` — interned tag/attribute name (index into ``names``),
+- ``texts``   — text content (text and attribute rows),
+- ``posts``   — post-order rank (a node closes after its subtree),
+- ``levels``  — depth below the root,
+- ``parents`` — parent row (``-1`` for the root),
+- ``ends``    — exclusive end of the subtree interval.
+
+The pre/post/level scheme is the classic interval encoding of the
+structural-join literature (and of Natix, the paper's host system):
+``a`` is an ancestor of ``d`` iff ``pre(a) < pre(d) < ends[a]`` —
+equivalently ``post(d) < post(a)`` — an O(1) check with no pointer
+chasing, and the descendants of a node are the *contiguous* row slice
+``(pre, ends[pre])``.  Per-tag row lists make a ``descendant::tag``
+step a binary search plus a slice copy instead of a recursive walk.
+
+:func:`acceleration` is a benchmark/bisection switch: with acceleration
+disabled the evaluator falls back to the pointer-chasing walks the
+object-graph storage used, which is exactly the baseline
+``benchmarks/bench_q9_storage.py`` measures against.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.xmldb.node import Node, NodeKind
+
+#: a concrete root-to-node tag path, e.g. ("items", "itemtuple", "@id")
+#: (shared with :mod:`repro.index.structural`)
+TagPath = tuple[str, ...]
+
+_ACCELERATION = True
+
+
+def acceleration_enabled() -> bool:
+    """Whether arena range scans may replace pointer-chasing walks."""
+    return _ACCELERATION
+
+
+@contextmanager
+def acceleration(enabled: bool):
+    """Temporarily enable/disable arena-accelerated axis evaluation.
+
+    Used by the storage benchmark to measure the interval encoding
+    against the legacy object-graph walk on identical documents."""
+    global _ACCELERATION
+    previous = _ACCELERATION
+    _ACCELERATION = enabled
+    try:
+        yield
+    finally:
+        _ACCELERATION = previous
+
+
+class Arena:
+    """Struct-of-arrays storage for one document tree."""
+
+    __slots__ = ("document", "kinds", "name_ids", "texts", "posts",
+                 "levels", "parents", "ends", "names", "nodes",
+                 "child_lists", "attr_lists", "_name_to_id",
+                 "_tag_pres", "_elem_pres", "_text_pres")
+
+    def __init__(self, document=None):
+        #: the owning Document (None for throwaway arenas built over
+        #: unregistered trees, e.g. by the index subsystem)
+        self.document = document
+        self.kinds: list[NodeKind] = []
+        self.name_ids: list[int] = []
+        self.texts: list[str | None] = []
+        self.posts: list[int] = []
+        self.levels: list[int] = []
+        self.parents: list[int] = []
+        self.ends: list[int] = []
+        self.names: list[str] = []
+        #: one Node handle per row; handles are interned so node
+        #: identity (``is`` / ``id()``) keeps working across lookups
+        self.nodes: list[Node] = []
+        #: per-row child/attribute handles as *tuples* — handed out
+        #: directly by the Node properties, so they must be immutable
+        #: (a mutable list would let callers bypass the freeze and
+        #: desynchronize the interval columns)
+        self.child_lists: list[tuple[Node, ...]] = []
+        self.attr_lists: list[tuple[Node, ...]] = []
+        self._name_to_id: dict[str, int] = {}
+        #: element rows per tag name, in pre (= document) order
+        self._tag_pres: dict[str, list[int]] = {}
+        self._elem_pres: list[int] = []
+        self._text_pres: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tree(cls, root: Node, document=None) -> "Arena":
+        """Encode the tree under ``root``.
+
+        With ``document`` given, every node is *frozen* into a handle:
+        its builder-mode links are dropped and all further reads go
+        through the arena; mutation afterwards raises
+        :class:`~repro.errors.FrozenDocumentError`.  Without a
+        document the nodes are left untouched (the arena is then a
+        read-only view, as the index subsystem builds over loose
+        trees)."""
+        arena = cls(document)
+        arena._build(root)
+        if document is not None:
+            for pre, node in enumerate(arena.nodes):
+                node._freeze(arena, pre)
+        return arena
+
+    def _intern(self, name: str) -> int:
+        name_id = self._name_to_id.get(name)
+        if name_id is None:
+            name_id = len(self.names)
+            self._name_to_id[name] = name_id
+            self.names.append(name)
+        return name_id
+
+    def _build(self, root: Node) -> None:
+        _OPEN, _CLOSE = 0, 1
+        kinds, texts = self.kinds, self.texts
+        post_counter = 0
+        stack: list[tuple[int, object, int, int]] = [(_OPEN, root, -1, 0)]
+        while stack:
+            action, payload, parent_pre, level = stack.pop()
+            if action == _CLOSE:
+                pre = payload  # type: ignore[assignment]
+                self.ends[pre] = len(kinds)
+                self.posts[pre] = post_counter
+                post_counter += 1
+                continue
+            node: Node = payload  # type: ignore[assignment]
+            pre = len(kinds)
+            kind = node.kind
+            kinds.append(kind)
+            name = node.name
+            self.name_ids.append(-1 if name is None else self._intern(name))
+            texts.append(node.text)
+            self.parents.append(parent_pre)
+            self.levels.append(level)
+            self.posts.append(-1)
+            self.ends.append(-1)
+            self.nodes.append(node)
+            attrs = tuple(node.attributes)
+            children = tuple(node.children)
+            self.attr_lists.append(attrs)
+            self.child_lists.append(children)
+            if kind is NodeKind.ELEMENT:
+                self._tag_pres.setdefault(name, []).append(pre)
+                self._elem_pres.append(pre)
+            elif kind is NodeKind.TEXT:
+                self._text_pres.append(pre)
+            # LIFO: attributes pop first (rows right after the element),
+            # then the children subtrees, then the close marker.
+            stack.append((_CLOSE, pre, parent_pre, level))
+            for child in reversed(children):
+                stack.append((_OPEN, child, pre, level + 1))
+            for attr in reversed(attrs):
+                stack.append((_OPEN, attr, pre, level + 1))
+
+    # ------------------------------------------------------------------
+    # Structural axes (O(log n) + output size)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def is_ancestor(self, a: int, d: int) -> bool:
+        """Interval containment: O(1), no pointer chasing."""
+        return a < d < self.ends[a]
+
+    def _range(self, rows: list[int], pre: int) -> list[int]:
+        lo = bisect_right(rows, pre)
+        hi = bisect_left(rows, self.ends[pre], lo)
+        return rows[lo:hi]
+
+    def descendants_by_tag(self, pre: int, name: str) -> list[int]:
+        """Rows of ``name`` elements inside ``(pre, ends[pre])``."""
+        rows = self._tag_pres.get(name)
+        return [] if rows is None else self._range(rows, pre)
+
+    def tag_rows(self, name: str) -> list[int]:
+        """All rows of ``name`` elements, in document order.  The
+        returned list is the arena's own — callers must not mutate."""
+        return self._tag_pres.get(name, [])
+
+    def tag_names(self) -> list[str]:
+        """Every element tag occurring in the document, sorted."""
+        return sorted(self._tag_pres)
+
+    def descendant_elements(self, pre: int) -> list[int]:
+        return self._range(self._elem_pres, pre)
+
+    def descendant_texts(self, pre: int) -> list[int]:
+        return self._range(self._text_pres, pre)
+
+    def iter_descendant_rows(self, pre: int) -> Iterator[int]:
+        """Element and text rows of the subtree, in document order
+        (attribute rows are skipped, as the descendant axis requires)."""
+        kinds = self.kinds
+        attribute = NodeKind.ATTRIBUTE
+        for row in range(pre + 1, self.ends[pre]):
+            if kinds[row] is not attribute:
+                yield row
+
+    def string_value(self, pre: int) -> str:
+        """Concatenated text of the subtree (XQuery string value)."""
+        if self.kinds[pre] is not NodeKind.ELEMENT:
+            return self.texts[pre] or ""
+        rows = self._text_pres
+        lo = bisect_right(rows, pre)
+        hi = bisect_left(rows, self.ends[pre], lo)
+        texts = self.texts
+        return "".join(texts[rows[i]] or "" for i in range(lo, hi))
+
+    # ------------------------------------------------------------------
+    # Statistics (exact, read straight off the columns)
+    # ------------------------------------------------------------------
+    @property
+    def element_count(self) -> int:
+        return len(self._elem_pres)
+
+    def tag_count(self, name: str) -> int:
+        return len(self._tag_pres.get(name, ()))
+
+    def tag_counts(self) -> dict[str, int]:
+        """Exact per-tag element counts (cost-model input)."""
+        return {name: len(rows) for name, rows in self._tag_pres.items()}
+
+    def depth_histogram(self) -> dict[int, int]:
+        """Element count per depth level."""
+        histogram: dict[int, int] = {}
+        levels = self.levels
+        for pre in self._elem_pres:
+            level = levels[pre]
+            histogram[level] = histogram.get(level, 0) + 1
+        return histogram
+
+    def average_fanout(self) -> float:
+        """Mean number of child elements per *internal* element — the
+        exact fanout figure the cost model uses for paths it cannot
+        resolve to a tag count."""
+        internal = sum(1 for pre in self._elem_pres
+                       if any(c.kind is NodeKind.ELEMENT
+                              for c in self.child_lists[pre]))
+        if internal == 0:
+            return 0.0
+        return (len(self._elem_pres) - 1) / internal
+
+    def stats(self) -> dict:
+        """Summary used by ``python -m repro stats`` and the examples."""
+        kind_counts = {"element": len(self._elem_pres),
+                       "text": len(self._text_pres)}
+        kind_counts["attribute"] = (len(self.kinds)
+                                    - kind_counts["element"]
+                                    - kind_counts["text"])
+        depth_histogram = self.depth_histogram()
+        return {
+            "rows": len(self.kinds),
+            "kinds": kind_counts,
+            "distinct_names": len(self.names),
+            "max_depth": max(depth_histogram, default=0),
+            "average_fanout": round(self.average_fanout(), 3),
+            "tag_counts": dict(sorted(self.tag_counts().items(),
+                                      key=lambda kv: (-kv[1], kv[0]))),
+            "depth_histogram": dict(sorted(depth_histogram.items())),
+        }
+
+    # ------------------------------------------------------------------
+    def iter_paths(self) -> Iterator[tuple[int, TagPath]]:
+        """``(pre, root-to-node tag path)`` for every element and
+        attribute row, in document order — the DataGuide walk of the
+        index subsystem, off the columns instead of the pointers."""
+        kinds, name_ids, parents = self.kinds, self.name_ids, self.parents
+        names = self.names
+        paths: list[TagPath | None] = [None] * len(kinds)
+        for pre, kind in enumerate(kinds):
+            if kind is NodeKind.TEXT:
+                continue
+            parent = parents[pre]
+            base: TagPath = () if parent < 0 else paths[parent]  # type: ignore
+            name = names[name_ids[pre]]
+            if kind is NodeKind.ATTRIBUTE:
+                yield pre, base + (f"@{name}",)
+            else:
+                path = base + (name,)
+                paths[pre] = path
+                yield pre, path
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        owner = self.document.name if self.document is not None else None
+        return f"<Arena rows={len(self.kinds)} document={owner!r}>"
+
+
+def arena_for(root: Node) -> Arena:
+    """An arena whose row 0 is ``root`` — the document's own arena when
+    ``root`` is a finalized document root, otherwise a fresh read-only
+    encoding of the subtree (used by the index subsystem over
+    unregistered trees, and over subtrees of finalized documents: a
+    frozen *non-root* node must not alias the whole-document arena, or
+    indexes built over the subtree would silently cover the entire
+    document)."""
+    if root.arena is not None and root.pre == 0:
+        return root.arena
+    return Arena.from_tree(root)

@@ -12,54 +12,53 @@ the statistics make the asymptotic claim checkable without a stopwatch.
 
 from __future__ import annotations
 
+import itertools
+
 from repro.errors import (
     DuplicateDocumentError,
     UnknownDocumentError,
     XMLParseError,
 )
+from repro.xmldb.arena import Arena
 from repro.xmldb.dtd import DTD, SchemaInfo, parse_dtd
 from repro.xmldb.node import Node
 from repro.xmldb.parser import parse_document
 
+#: registration sequence shared by all stores in the process — the
+#: deterministic multi-document order behind the evaluator's dedup
+#: (``(document.seq, pre)`` replaces the old ``id(document)`` key)
+_DOC_SEQ = itertools.count()
+
 
 class Document:
-    """One named XML document plus its (optional) DTD-derived schema."""
+    """One named XML document plus its (optional) DTD-derived schema.
+
+    Construction *finalizes* the tree: it is encoded into an
+    interval-ordered :class:`~repro.xmldb.arena.Arena` (struct-of-arrays
+    columns, interned tag names, pre/post/level numbering) and every
+    node becomes a frozen handle into it.  Mutating the tree afterwards
+    raises :class:`~repro.errors.FrozenDocumentError`.
+    """
 
     def __init__(self, name: str, root: Node, dtd: DTD | None = None):
         self.name = name
         self.root = root
         self.dtd = dtd
+        #: process-wide registration rank; nodes of earlier-registered
+        #: documents sort first in multi-document sequences
+        self.seq = next(_DOC_SEQ)
         self.schema: SchemaInfo | None = None
         if dtd is not None:
             self.schema = SchemaInfo(dtd, root=root.name)
-        _adopt(root, self)
+        self.arena = Arena.from_tree(root, document=self)
 
     @property
     def element_count(self) -> int:
         """Number of element nodes (used in Fig. 6-style size tables)."""
-        from repro.xmldb.node import NodeKind
-        return sum(1 for n in self.root.iter_descendants(include_self=True)
-                   if n.kind is NodeKind.ELEMENT)
+        return self.arena.element_count
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Document {self.name!r} root={self.root.name!r}>"
-
-
-def _adopt(root: Node, document: Document) -> None:
-    root.document = document
-    for node in root.iter_descendants():
-        node.document = document
-    for attr in _iter_attributes(root):
-        attr.document = document
-
-
-def _iter_attributes(root: Node):
-    from repro.xmldb.node import NodeKind
-    if root.kind is NodeKind.ELEMENT:
-        yield from root.attributes
-        for child in root.children:
-            if child.kind is NodeKind.ELEMENT:
-                yield from _iter_attributes(child)
 
 
 class ScanStats:
@@ -159,12 +158,14 @@ class DocumentStore:
         Raises :class:`~repro.errors.DuplicateDocumentError` if ``name``
         is already registered — replacing a document under a running
         optimizer would silently invalidate cached schema facts.
+
+        Registration finalizes the tree into the document's arena; the
+        arena's ``pre`` numbering becomes the nodes' ``order_key`` (it
+        coincides with :func:`~repro.xmldb.node.assign_order_keys`
+        numbering from 0) and the tree is frozen against mutation.
         """
-        from repro.xmldb.node import assign_order_keys
         if name in self._documents:
             raise DuplicateDocumentError(name)
-        if root.order_key < 0:
-            assign_order_keys(root)
         document = Document(name, root, dtd)
         self._documents[name] = document
         self.indexes.on_register(document)

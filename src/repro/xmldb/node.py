@@ -1,23 +1,38 @@
 """XML node model with document order.
 
-NAL (the paper's algebra) manipulates *node handles* pointing into documents
-stored in the database, rather than materialized trees.  Our :class:`Node` is
-that handle: a lightweight object carrying parent/children links and a
-``order_key`` that totally orders all nodes of one document in document order
-(pre-order).  Node identity is object identity; node equality in the algebra
-layer is *by identity*, while value comparison uses the string value
-(atomization), as in XQuery.
+NAL (the paper's algebra) manipulates *node handles* pointing into
+documents stored in the database, rather than materialized trees.  Our
+:class:`Node` is that handle, and it lives in one of two modes:
 
-Three node kinds are supported: elements, text nodes and attribute nodes.
-Attributes participate in document order right after their owner element
-(their exact rank relative to siblings never matters for the paper's
-queries, but a total order keeps sorting well-defined).
+- **builder mode** — while a tree is being constructed (by the parser,
+  the data generators or tests) a node is a small mutable object with
+  ``parent``/``children``/``attributes`` links;
+- **frozen mode** — when a document is registered with a
+  :class:`~repro.xmldb.document.DocumentStore` the tree is finalized
+  into an interval-encoded :class:`~repro.xmldb.arena.Arena` and every
+  node becomes a lightweight handle ``(arena, pre)``: its axis methods
+  and properties read the arena's struct-of-arrays columns, and any
+  mutation raises :class:`~repro.errors.FrozenDocumentError` (which is
+  what makes the ``string_value`` cache safe — a frozen subtree's text
+  can never change under the cache).
+
+Node identity is object identity in both modes (handles are interned in
+the arena, one per row); node equality in the algebra layer is *by
+identity*, while value comparison uses the string value (atomization),
+as in XQuery.
+
+Three node kinds are supported: elements, text nodes and attribute
+nodes.  Attributes participate in document order right after their
+owner element (their exact rank relative to siblings never matters for
+the paper's queries, but a total order keeps sorting well-defined).
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Iterator
+from typing import Iterator, Sequence
+
+from repro.errors import FrozenDocumentError
 
 
 class NodeKind(enum.Enum):
@@ -42,43 +57,139 @@ class Node:
         elements (element string values are computed from descendants).
     """
 
-    __slots__ = ("kind", "name", "text", "parent", "children", "attributes",
-                 "order_key", "document", "_strval")
+    __slots__ = ("_kind", "_name", "_text", "_parent", "_children",
+                 "_attributes", "order_key", "arena", "pre", "_strval")
 
     def __init__(self, kind: NodeKind, name: str | None = None,
                  text: str | None = None):
-        self.kind = kind
-        self.name = name
-        self.text = text
-        self.parent: Node | None = None
-        self.children: list[Node] = []
-        self.attributes: list[Node] = []
+        self._kind = kind
+        self._name = name
+        self._text = text
+        self._parent: Node | None = None
+        self._children: list[Node] = []
+        self._attributes: list[Node] = []
         self.order_key: int = -1
-        # Back-reference to the owning Document; set when the tree is
-        # adopted by a Document.  Used for scan accounting.
-        self.document = None
-        # Cached string value for elements (trees are immutable once a
-        # document is registered, so caching is safe).
+        #: the owning Arena once the document is finalized; None while
+        #: the tree is still a mutable builder graph
+        self.arena = None
+        #: this node's row in the arena (== order_key once frozen)
+        self.pre: int = -1
+        # Cached string value for elements; safe because finalized
+        # documents are immutable (mutation raises) and builder trees
+        # only cache on explicit string_value() calls.
         self._strval: str | None = None
 
     # ------------------------------------------------------------------
-    # Tree construction
+    # Finalization (called by Arena.from_tree)
     # ------------------------------------------------------------------
+    def _freeze(self, arena, pre: int) -> None:
+        """Turn this builder node into an arena handle: drop the object
+        links and route all further reads through the columns."""
+        self.arena = arena
+        self.pre = pre
+        self.order_key = pre
+        self._kind = None
+        self._name = None
+        self._text = None
+        self._parent = None
+        self._children = None  # type: ignore[assignment]
+        self._attributes = None  # type: ignore[assignment]
+        # A value cached while the tree was still mutable may predate
+        # later builder-mode edits; recompute from the columns.
+        self._strval = None
+
+    # ------------------------------------------------------------------
+    # Columnar properties (builder slots before freeze, arena after)
+    # ------------------------------------------------------------------
+    @property
+    def kind(self) -> NodeKind:
+        arena = self.arena
+        return self._kind if arena is None else arena.kinds[self.pre]
+
+    @property
+    def name(self) -> str | None:
+        arena = self.arena
+        if arena is None:
+            return self._name
+        name_id = arena.name_ids[self.pre]
+        return None if name_id < 0 else arena.names[name_id]
+
+    @property
+    def text(self) -> str | None:
+        arena = self.arena
+        return self._text if arena is None else arena.texts[self.pre]
+
+    @property
+    def parent(self) -> Node | None:
+        arena = self.arena
+        if arena is None:
+            return self._parent
+        parent_pre = arena.parents[self.pre]
+        return None if parent_pre < 0 else arena.nodes[parent_pre]
+
+    @property
+    def children(self) -> "Sequence[Node]":
+        """Child nodes in document order (a mutable list while
+        building; the arena's immutable tuple once frozen)."""
+        arena = self.arena
+        if arena is None:
+            return self._children
+        return arena.child_lists[self.pre]
+
+    @property
+    def attributes(self) -> "Sequence[Node]":
+        """Attribute nodes in document order (list while building,
+        immutable tuple once frozen)."""
+        arena = self.arena
+        if arena is None:
+            return self._attributes
+        return arena.attr_lists[self.pre]
+
+    @property
+    def document(self):
+        """The owning Document (None until the tree is registered)."""
+        arena = self.arena
+        return None if arena is None else arena.document
+
+    @property
+    def level(self) -> int:
+        """Depth below the document root (frozen nodes read the arena
+        column; builder nodes count parent links)."""
+        arena = self.arena
+        if arena is not None:
+            return arena.levels[self.pre]
+        depth, node = 0, self._parent
+        while node is not None:
+            depth += 1
+            node = node._parent if node.arena is None else node.parent
+        return depth
+
+    # ------------------------------------------------------------------
+    # Tree construction (builder mode only)
+    # ------------------------------------------------------------------
+    def _require_mutable(self) -> None:
+        if self.arena is not None:
+            owner = self.arena.document
+            raise FrozenDocumentError(
+                owner.name if owner is not None else "<anonymous>")
+
     def append_child(self, child: Node) -> Node:
         """Attach ``child`` as the last child of this element."""
-        if self.kind is not NodeKind.ELEMENT:
+        self._require_mutable()
+        if self._kind is not NodeKind.ELEMENT:
             raise ValueError("only elements can have children")
-        child.parent = self
-        self.children.append(child)
+        child._parent = self
+        self._children.append(child)
         return child
 
     def set_attribute(self, name: str, value: str) -> Node:
         """Attach an attribute node ``name="value"`` to this element."""
-        if self.kind is not NodeKind.ELEMENT:
+        self._require_mutable()
+        if self._kind is not NodeKind.ELEMENT:
             raise ValueError("only elements can have attributes")
         attr = Node(NodeKind.ATTRIBUTE, name=name, text=value)
-        attr.parent = self
-        self.attributes.append(attr)
+        attr._parent = self
+        self._attributes.append(attr)
         return attr
 
     # ------------------------------------------------------------------
@@ -101,9 +212,21 @@ class Node:
     def iter_descendants(self, include_self: bool = False) -> Iterator[Node]:
         """Pre-order (document-order) iterator over descendant elements
         and text nodes.  Attribute nodes are not yielded (XPath's
-        descendant axis excludes them)."""
+        descendant axis excludes them).
+
+        Frozen nodes iterate their contiguous arena row interval; the
+        pointer walk remains as the builder-mode (and benchmark
+        baseline) path."""
         if include_self:
             yield self
+        arena = self.arena
+        if arena is not None:
+            from repro.xmldb import arena as arena_mod
+            if arena_mod.acceleration_enabled():
+                nodes = arena.nodes
+                for row in arena.iter_descendant_rows(self.pre):
+                    yield nodes[row]
+                return
         for child in self.children:
             yield child
             if child.kind is NodeKind.ELEMENT:
@@ -115,17 +238,23 @@ class Node:
     def string_value(self) -> str:
         """XQuery string value: concatenation of all descendant text.
 
-        Cached for element nodes; document trees are immutable once
-        registered with a :class:`~repro.xmldb.document.DocumentStore`.
+        Cached for element nodes; finalized documents are immutable
+        (mutation raises :class:`~repro.errors.FrozenDocumentError`),
+        so the cache can never serve stale text.
         """
-        if self.kind is NodeKind.TEXT or self.kind is NodeKind.ATTRIBUTE:
+        kind = self.kind
+        if kind is NodeKind.TEXT or kind is NodeKind.ATTRIBUTE:
             return self.text or ""
         if self._strval is None:
-            parts: list[str] = []
-            for node in self.iter_descendants():
-                if node.kind is NodeKind.TEXT:
-                    parts.append(node.text or "")
-            self._strval = "".join(parts)
+            arena = self.arena
+            if arena is not None:
+                self._strval = arena.string_value(self.pre)
+            else:
+                parts: list[str] = []
+                for node in self.iter_descendants():
+                    if node.kind is NodeKind.TEXT:
+                        parts.append(node.text or "")
+                self._strval = "".join(parts)
         return self._strval
 
     # ------------------------------------------------------------------
@@ -144,21 +273,22 @@ def assign_order_keys(root: Node, start: int = 0) -> int:
 
     Attributes are numbered immediately after their owner element, before
     its children, which keeps document order total.  Returns the next free
-    key, so several trees can share one key space if desired.
+    key, so several trees can share one key space if desired.  (The walk
+    is iterative — parsed documents can be arbitrarily deep.)
+
+    The numbering is exactly the arena's ``pre`` numbering, so a tree
+    finalized at registration keeps its order keys.
     """
     counter = start
-
-    def visit(node: Node) -> None:
-        nonlocal counter
+    stack = [root]
+    while stack:
+        node = stack.pop()
         node.order_key = counter
         counter += 1
         for attr in node.attributes:
             attr.order_key = counter
             counter += 1
-        for child in node.children:
-            visit(child)
-
-    visit(root)
+        stack.extend(reversed(node.children))
     return counter
 
 
@@ -181,6 +311,15 @@ def element(name: str, *children: Node | str, **attrs: str) -> Node:
     return node
 
 
+def global_order_key(node: Node) -> tuple[int, int]:
+    """A total order over nodes of *any* number of documents:
+    ``(document registration sequence, pre)``.  Unregistered trees sort
+    before all documents, by their local order keys — deterministic
+    across runs, unlike the ``id(document)`` tie-break this replaces."""
+    document = node.document
+    return (-1 if document is None else document.seq, node.order_key)
+
+
 def document_order(nodes: list[Node]) -> list[Node]:
     """Return ``nodes`` sorted by document order (stable for equal keys)."""
-    return sorted(nodes, key=lambda n: n.order_key)
+    return sorted(nodes, key=global_order_key)

@@ -17,6 +17,8 @@ character position.
 
 from __future__ import annotations
 
+import sys
+
 from repro.errors import XMLParseError
 from repro.xmldb.node import Node, NodeKind, assign_order_keys
 
@@ -65,7 +67,10 @@ class _Cursor:
         self.pos += 1
         while not self.eof() and self.text[self.pos] in _NAME_CHARS:
             self.pos += 1
-        return self.text[start:self.pos]
+        # Tag and attribute names repeat throughout a document; handing
+        # interned strings to the arena's name dictionary makes its
+        # per-name lookups pointer comparisons.
+        return sys.intern(self.text[start:self.pos])
 
     def read_until(self, literal: str) -> str:
         end = self.text.find(literal, self.pos)

@@ -8,12 +8,25 @@ and in document order.  The evaluator charges scan statistics to the owning
   of that document (this is what a nested query plan repeats once per outer
   tuple, and what the unnested plans do O(1) times);
 - every node touched counts as a node visit.
+
+Finalized documents are interval-encoded
+(:mod:`repro.xmldb.arena`): a ``descendant::tag`` step binary-searches
+the tag's pre-ordered row list inside the context node's subtree
+interval and copies the slice — it touches exactly the result nodes,
+never the rest of the document.  The logical *scan* counter is charged
+as before (the paper's asymptotic argument is about how often a plan
+reads a document, not how the storage layer implements the read);
+``node_visits`` records the rows actually touched, which is where the
+encoding's advantage shows up.  Builder trees (and benchmarks pinning
+the pre-arena baseline via :func:`repro.xmldb.arena.acceleration`) take
+the recursive pointer walk instead.
 """
 
 from __future__ import annotations
 
+from repro.xmldb import arena as arena_mod
 from repro.errors import XPathError
-from repro.xmldb.node import Node, NodeKind
+from repro.xmldb.node import Node, NodeKind, global_order_key
 from repro.xpath.ast import (
     AnyTest,
     ComparisonPredicate,
@@ -67,8 +80,16 @@ def _step_from(node: Node, step: Step, stats) -> list[Node]:
     if step.axis == "descendant":
         if stats is not None and node.parent is None \
                 and node.document is not None:
-            # A descendant walk from the document root is a full scan.
+            # A descendant walk from the document root is (logically) a
+            # full scan, however the storage layer answers it.
             stats.record_scan(node.document.name)
+        arena = node.arena
+        if arena is not None and arena_mod.acceleration_enabled():
+            rows = _descendant_rows(arena, node.pre, step)
+            if stats is not None:
+                stats.record_visits(len(rows))
+            nodes = arena.nodes
+            return [nodes[row] for row in rows]
         result = []
         count = 0
         for candidate in node.iter_descendants():
@@ -79,6 +100,20 @@ def _step_from(node: Node, step: Step, stats) -> list[Node]:
             stats.record_visits(count)
         return result
     raise XPathError(f"unsupported axis {step.axis!r}")
+
+
+def _descendant_rows(arena, pre: int, step: Step) -> list[int]:
+    """Arena rows satisfying a descendant step: a binary search over
+    the pre-ordered per-tag (or per-kind) row list, restricted to the
+    subtree interval ``(pre, ends[pre])``."""
+    test = step.test
+    if isinstance(test, NameTest):
+        return arena.descendants_by_tag(pre, test.name)
+    if isinstance(test, AnyTest):
+        return arena.descendant_elements(pre)
+    if isinstance(test, TextTest):
+        return arena.descendant_texts(pre)
+    raise XPathError(f"unsupported node test {test!r}")
 
 
 def _attribute_step(node: Node, step: Step) -> list[Node]:
@@ -144,11 +179,67 @@ def _compare_value(node: Node, op: str, value) -> bool:
     raise XPathError(f"unsupported comparison operator {op!r}")
 
 
+def iter_step(node: Node, step: Step, stats=None):
+    """Lazily yield one unpredicated ``child``/``descendant`` step from
+    a single context node, in document order with no duplicates.
+
+    This is the streaming twin of :func:`_step_from`: the result
+    sequence is identical (single-node, single-step results are
+    inherently ordered and duplicate-free, so no dedup/sort pass is
+    needed), but nodes are produced on demand — a short-circuiting
+    consumer stops the underlying range iteration (or walk) itself.
+    Visits are recorded as the iteration proceeds, so an abandoned scan
+    charges only the rows it actually touched.
+    """
+    if stats is not None and node.parent is None \
+            and node.document is not None:
+        stats.record_scan(node.document.name)
+    if step.axis == "child":
+        for child in node.children:
+            if stats is not None:
+                stats.record_visits(1)
+            if _matches(child, step):
+                yield child
+        return
+    arena = node.arena
+    if arena is not None and arena_mod.acceleration_enabled():
+        nodes = arena.nodes
+        for row in _descendant_rows(arena, node.pre, step):
+            if stats is not None:
+                stats.record_visits(1)
+            yield nodes[row]
+        return
+    for candidate in node.iter_descendants():
+        if stats is not None:
+            stats.record_visits(1)
+        if _matches(candidate, step):
+            yield candidate
+
+
+def streamable_step(nodes: list[Node], path: Path) -> Step | None:
+    """The single step :func:`iter_step` can stream for this context,
+    or ``None`` when the evaluator's materialize-dedup-sort pass is
+    required (multiple context nodes, chained steps, or predicates)."""
+    if len(nodes) != 1 or len(path.steps) != 1:
+        return None
+    step = path.steps[0]
+    if step.predicates or step.axis not in ("child", "descendant"):
+        return None
+    return step
+
+
 def _document_order_dedup(nodes: list[Node]) -> list[Node]:
+    """Duplicate-free, document-ordered result sequence.
+
+    Multi-document sequences order by ``(document registration
+    sequence, pre)`` — deterministic across runs, unlike the
+    ``id(document)`` tie-break it replaces (object addresses vary
+    between processes, so repeated runs could interleave documents
+    differently)."""
     seen: set[int] = set()
     unique: list[Node] = []
     for node in nodes:
         if id(node) not in seen:
             seen.add(id(node))
             unique.append(node)
-    return sorted(unique, key=lambda n: (id(n.document), n.order_key))
+    return sorted(unique, key=global_order_key)

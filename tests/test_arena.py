@@ -1,0 +1,294 @@
+"""The interval-encoded arena document store: column invariants,
+O(1) containment, freeze semantics, accelerated-axis equivalence, and
+the deterministic multi-document order behind the evaluator's dedup."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import BIB_DTD, generate_bib
+from repro.errors import FrozenDocumentError
+from repro.xmldb.arena import Arena, acceleration, arena_for
+from repro.xmldb.document import DocumentStore
+from repro.xmldb.node import Node, NodeKind, element, global_order_key
+from repro.xpath.evaluator import _document_order_dedup, evaluate_path
+from repro.xpath.parser import parse_path
+
+DOC = """
+<bib>
+  <book year="1994"><title>A</title><author><last>L1</last></author></book>
+  <book year="2000"><title>B</title>
+    <author><last>L2</last></author>
+    <author><last>L1</last></author>
+  </book>
+  <book year="1990"><title>C</title><editor><last>L3</last></editor></book>
+</bib>
+"""
+
+
+@pytest.fixture
+def store():
+    s = DocumentStore()
+    s.register_text("bib.xml", DOC)
+    return s
+
+
+@pytest.fixture
+def arena(store):
+    return store.get("bib.xml").arena
+
+
+# ----------------------------------------------------------------------
+# Column invariants
+# ----------------------------------------------------------------------
+def test_pre_numbering_matches_order_keys(arena):
+    for pre, node in enumerate(arena.nodes):
+        assert node.pre == pre
+        assert node.order_key == pre
+        assert node.arena is arena
+
+
+def test_parent_levels_and_intervals(arena):
+    for pre in range(len(arena)):
+        parent = arena.parents[pre]
+        if parent < 0:
+            assert pre == 0
+            assert arena.levels[pre] == 0
+            continue
+        # containment: a child row lies inside its parent's interval
+        assert parent < pre < arena.ends[parent]
+        assert arena.levels[pre] == arena.levels[parent] + 1
+        # post-order: a node closes before its ancestors
+        assert arena.posts[pre] < arena.posts[parent]
+
+
+def test_interval_containment_equals_ancestry(arena):
+    def ancestors(pre):
+        while arena.parents[pre] >= 0:
+            pre = arena.parents[pre]
+            yield pre
+
+    for d in range(len(arena)):
+        ancestor_set = set(ancestors(d))
+        for a in range(len(arena)):
+            assert arena.is_ancestor(a, d) == (a in ancestor_set), (a, d)
+
+
+def test_name_interning_and_tag_rows(arena):
+    assert arena.tag_count("book") == 3
+    assert arena.tag_count("author") == 3
+    assert arena.tag_count("nope") == 0
+    # per-tag row lists are in document (pre) order
+    rows = arena.tag_rows("author")
+    assert rows == sorted(rows)
+    # interned ids round-trip through the names table
+    for pre in rows:
+        assert arena.names[arena.name_ids[pre]] == "author"
+
+
+def test_string_value_reads_text_columns(arena):
+    root = arena.nodes[0]
+    books = root.child_elements("book")
+    assert books[0].string_value().replace("\n", "").strip() \
+        .startswith("A")
+    title = books[1].child_elements("title")[0]
+    assert title.string_value() == "B"
+    year = books[0].attribute("year")
+    assert year.string_value() == "1994"
+
+
+def test_frozen_handles_report_document(store, arena):
+    document = store.get("bib.xml")
+    for node in arena.nodes:
+        assert node.document is document
+
+
+# ----------------------------------------------------------------------
+# Freeze semantics (the string-value staleness fix)
+# ----------------------------------------------------------------------
+def test_mutation_after_registration_raises(store):
+    root = store.get("bib.xml").root
+    with pytest.raises(FrozenDocumentError, match="finalized"):
+        root.append_child(element("book"))
+    book = root.child_elements("book")[0]
+    with pytest.raises(FrozenDocumentError):
+        book.set_attribute("lang", "en")
+
+
+def test_string_value_cache_cannot_go_stale(store):
+    """The historical bug: mutate after the cache filled and the cache
+    served stale text.  Freezing makes the mutation itself impossible,
+    so the cached value is trustworthy forever."""
+    root = store.get("bib.xml").root
+    book = root.child_elements("book")[0]
+    before = book.string_value()
+    with pytest.raises(FrozenDocumentError):
+        book.append_child(Node(NodeKind.TEXT, text="STALE"))
+    assert book.string_value() == before
+    assert "STALE" not in root.string_value()
+
+
+def test_builder_trees_stay_mutable():
+    root = element("r", element("a", "1"))
+    assert root.string_value() == "1"
+    root.append_child(element("b", "2"))  # no document, no freeze
+    assert [c.name for c in root.child_elements()] == ["a", "b"]
+
+
+def test_freeze_discards_builder_mode_string_value_cache():
+    """A value cached while the tree was still mutable may predate
+    later builder-mode edits; finalization must recompute from the
+    columns, or indexes (keyed by arena string values) and scans
+    (keyed by node.string_value()) would disagree."""
+    root = element("r", "hello")
+    assert root.string_value() == "hello"      # fills the cache
+    root.append_child(Node(NodeKind.TEXT, text=" world"))
+    store = DocumentStore()
+    store.register_tree("t.xml", root)
+    assert root.string_value() == "hello world"
+    assert root.string_value() == root.arena.string_value(0)
+
+
+def test_frozen_child_lists_are_immutable(store):
+    """append_child raises — and so must direct list mutation, or the
+    child lists would silently desynchronize from the interval
+    columns."""
+    root = store.get("bib.xml").root
+    with pytest.raises(AttributeError):
+        root.children.append(element("book"))
+    with pytest.raises(AttributeError):
+        root.child_elements("book")[0].attributes.append(
+            Node(NodeKind.ATTRIBUTE, name="x", text="1"))
+
+
+# ----------------------------------------------------------------------
+# Accelerated axes ≡ pointer walks
+# ----------------------------------------------------------------------
+PATHS = ("//book", "//author", "//last", "book/title", "//book/@year",
+         "//title/text()", "book/*", "//book[author]",
+         "//book[@year > 1993]", "//missing")
+
+
+@pytest.mark.parametrize("path_text", PATHS)
+def test_acceleration_is_invisible(store, path_text):
+    root = store.get("bib.xml").root
+    path = parse_path(path_text)
+    with acceleration(True):
+        fast = evaluate_path(root, path)
+    with acceleration(False):
+        slow = evaluate_path(root, path)
+    assert fast == slow  # identical handles, identical order
+
+
+def test_acceleration_equivalence_generated_doc():
+    store = DocumentStore()
+    store.register_tree("bib.xml", generate_bib(25, 3, seed=11))
+    root = store.get("bib.xml").root
+    for path_text in ("//author", "//book/title", "//last"):
+        path = parse_path(path_text)
+        with acceleration(True):
+            fast = evaluate_path(root, path)
+        with acceleration(False):
+            slow = evaluate_path(root, path)
+        assert fast == slow and len(fast) > 0
+
+
+def test_iter_descendants_same_in_both_modes(arena):
+    root = arena.nodes[0]
+    with acceleration(True):
+        fast = list(root.iter_descendants(include_self=True))
+    with acceleration(False):
+        slow = list(root.iter_descendants(include_self=True))
+    assert fast == slow
+    assert all(n.kind is not NodeKind.ATTRIBUTE for n in fast)
+
+
+def test_descendant_range_touches_only_results(store):
+    """The encoding's point: a //tag step charges |result| visits, not
+    the document size."""
+    from repro.xmldb.document import ScanStats
+    root = store.get("bib.xml").root
+    stats = ScanStats()
+    result = evaluate_path(root, parse_path("//author"), stats=stats)
+    assert stats.node_visits == len(result) == 3
+    assert stats.document_scans == {"bib.xml": 1}
+
+
+# ----------------------------------------------------------------------
+# Arena statistics
+# ----------------------------------------------------------------------
+def test_arena_stats_summary(arena):
+    stats = arena.stats()
+    assert stats["kinds"]["element"] == arena.element_count
+    assert stats["kinds"]["attribute"] == 3
+    assert stats["tag_counts"]["book"] == 3
+    assert stats["depth_histogram"][0] == 1          # the root
+    assert stats["max_depth"] == 3                   # bib/book/author/last
+    assert stats["rows"] == len(arena)
+
+
+def test_arena_for_loose_tree_does_not_freeze():
+    root = element("r", element("v", "1"), element("v", "2"))
+    arena = arena_for(root)
+    assert arena.document is None
+    assert root.arena is None                        # still a builder
+    assert arena.tag_count("v") == 2
+    root.append_child(element("v", "3"))             # still mutable
+
+
+def test_arena_for_frozen_subtree_scopes_to_the_subtree():
+    """An index built over a frozen non-root node must cover only that
+    subtree — aliasing the whole-document arena would silently widen
+    lookup results to the entire document."""
+    from repro.index import ElementIndex, PathIndex
+    store = DocumentStore()
+    store.register_text(
+        "s.xml", "<r><a><x>1</x></a><b><x>2</x><x>3</x></b></r>")
+    root = store.get("s.xml").root
+    branch_a, branch_b = root.child_elements()
+    sub = arena_for(branch_a)
+    assert sub is not root.arena and sub.document is None
+    assert sub.nodes[0] is branch_a                  # row 0 = given root
+    assert sub.tag_count("x") == 1
+    assert len(ElementIndex(branch_b).lookup("x")) == 2
+    assert PathIndex(branch_a).paths() == [("a",), ("a", "x")]
+
+
+# ----------------------------------------------------------------------
+# Deterministic multi-document order (the dedup fix)
+# ----------------------------------------------------------------------
+def test_dedup_orders_by_registration_sequence():
+    store = DocumentStore()
+    store.register_text("z.xml", "<z><v>1</v></z>")
+    store.register_text("a.xml", "<a><v>2</v></a>")
+    z_nodes = evaluate_path(store.get("z.xml").root, parse_path("//v"))
+    a_nodes = evaluate_path(store.get("a.xml").root, parse_path("//v"))
+    mixed = a_nodes + z_nodes + a_nodes
+    ordered = _document_order_dedup(mixed)
+    # registration order (z before a), not name or id() order
+    assert [n.string_value() for n in ordered] == ["1", "2"]
+    assert ordered == _document_order_dedup(list(reversed(mixed)))
+
+
+def test_global_order_key_is_stable():
+    store = DocumentStore()
+    d1 = store.register_text("one.xml", "<r><v>x</v></r>")
+    d2 = store.register_text("two.xml", "<r><v>y</v></r>")
+    assert d1.seq < d2.seq
+    k1 = global_order_key(d1.root)
+    k2 = global_order_key(d2.root)
+    assert k1 < k2
+    loose = element("r")
+    assert global_order_key(loose) < k1  # unregistered sorts first
+
+
+def test_multi_document_query_order_is_deterministic():
+    """End-to-end regression: a sequence drawing from two documents
+    dedups into the same order on every evaluation."""
+    store = DocumentStore()
+    store.register_text("b.xml", "<bib><t>B1</t><t>B2</t></bib>")
+    store.register_text("r.xml", "<rev><t>R1</t></rev>")
+    roots = [store.get("r.xml").root, store.get("b.xml").root]
+    runs = [evaluate_path(roots, parse_path("//t")) for _ in range(5)]
+    texts = [[n.string_value() for n in run] for run in runs]
+    assert texts == [["B1", "B2", "R1"]] * 5

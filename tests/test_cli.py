@@ -122,3 +122,36 @@ def test_warns_without_documents(tmp_path, capsys):
     code = main([str(query), "--explain"])
     assert code == 0  # explain works without documents
     assert "no documents" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# The `stats` subcommand (arena statistics)
+# ----------------------------------------------------------------------
+def test_stats_subcommand_prints_arena_statistics(data_dir, capsys):
+    code = main(["stats", "bib.xml", "--docs", str(data_dir)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "arena statistics for 'bib.xml'" in out
+    assert "tag counts" in out
+    assert "book" in out and "author" in out
+    assert "depth histogram" in out
+    assert "level 0" in out
+
+
+def test_stats_subcommand_counts_match_document(data_dir, capsys):
+    from repro.api import Database
+    db = Database()
+    db.register_text("bib.xml",
+                     (data_dir / "bib.xml").read_text())
+    expected = db.store.get("bib.xml").arena.tag_count("book")
+    code = main(["stats", "bib.xml",
+                 "--doc", f"bib.xml={data_dir / 'bib.xml'}"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert f"book                     {expected}" in out
+
+
+def test_stats_unknown_document_fails_cleanly(data_dir, capsys):
+    code = main(["stats", "missing.xml", "--docs", str(data_dir)])
+    assert code == 1
+    assert "unknown document" in capsys.readouterr().err
