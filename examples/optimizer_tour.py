@@ -176,6 +176,7 @@ return <popular-item> { $i1 } </popular-item>
     show_access_paths()
     show_pipelined_execution()
     show_arena_storage()
+    show_order_properties()
 
 
 def show_access_paths() -> None:
@@ -301,6 +302,54 @@ return <pricey> { $r1 } </pricey>
     assert len(set(outputs.values())) == 1
     print("  outputs are byte-identical; the range scan touched only"
           " the reserveprice rows inside the scanned interval.")
+    print()
+
+
+def show_order_properties() -> None:
+    """Sort elision: the order-property subsystem annotates every
+    operator with what is already known about its output order —
+    sources read arena guarantees, σ/Π/χ preserve, Sort/ΠD establish —
+    and removes Sorts whose requirement provably holds.  The auction's
+    itemno column is non-decreasing in document order (a fact the
+    optimizer *checks once* against the frozen document and caches),
+    so ``order by $i/itemno`` compiles to a ``Sort[elided: …]`` no-op;
+    the same analysis lets the XPath evaluator skip its dedup-sort
+    pass on provably ordered step sequences.  Set
+    ``REPRO_ORDER_DEBUG=1`` (or ``properties.debug_checks(True)``) to
+    have both engines re-verify every elided sort differentially at
+    runtime."""
+    from repro.datagen import ITEMS_DTD, generate_items
+    from repro.optimizer import properties
+    from repro.optimizer.properties import properties_to_string
+
+    db = Database()
+    db.register_tree("items.xml", generate_items(300, seed=3),
+                     dtd_text=ITEMS_DTD)
+    text = """
+let $d1 := doc("items.xml")
+for $i1 in $d1//itemtuple
+let $n1 := zero-or-one($i1/itemno)
+order by $n1
+return <item>{ $n1 }</item>
+"""
+    print(SEPARATOR)
+    print("Order properties — sort elision over proven document order")
+    outputs = {}
+    for label, enabled in (("forced sorts (elision off)", False),
+                           ("elided (order subsystem on)", True)):
+        with properties.elision(enabled):
+            query = compile_query(text, db)
+            plan = query.plan_named("nested").plan
+            result = db.execute(plan)
+        outputs[label] = result.output
+        print(f"  {label}: {result.elapsed:.4f}s")
+        for line in properties_to_string(plan, db.store).splitlines():
+            print(f"    {line}")
+    assert len(set(outputs.values())) == 1
+    print("  outputs are byte-identical: a stable sort over an input"
+          " the inference proved")
+    print("  already sorted is the identity — the elided plan just"
+          " stopped paying for it.")
     print()
 
 

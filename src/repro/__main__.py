@@ -56,6 +56,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "pipelined engine's figure of merit)")
     parser.add_argument("--explain", action="store_true",
                         help="print plans instead of executing")
+    parser.add_argument("--properties", action="store_true",
+                        help="with --explain (or alone): annotate every "
+                             "plan operator with its inferred order "
+                             "properties (sorted_on, document order, "
+                             "duplicate freeness) and show elided sorts")
     parser.add_argument("--stats", action="store_true",
                         help="print document-scan statistics")
     parser.add_argument("--analyze", action="store_true",
@@ -159,16 +164,28 @@ def main(argv: list[str] | None = None) -> int:
                   "(use --doc or --docs)", file=sys.stderr)
         query = compile_query(text, db, ranking=args.ranking)
 
-        if args.explain:
+        if args.explain or args.properties:
+            if args.properties:
+                from repro.optimizer.properties import \
+                    properties_to_string
+
+                def render(label):
+                    return properties_to_string(
+                        query.plan_named(label).plan, db.store)
+
+                header = properties_to_string(query.plan, db.store)
+            else:
+                render = query.explain
+                header = query.explain()
             print("== nested (translated) plan ==")
-            print(query.explain())
+            print(header)
             print("== alternatives, best first ==")
             for alt in query.plans():
                 rules = "+".join(alt.applied) if alt.applied else "-"
                 cost = "" if alt.cost is None \
                     else f"  cost≈{alt.cost.total:.0f}"
                 print(f"-- {alt.label} [{rules}]{cost}")
-                print(query.explain(alt.label))
+                print(render(alt.label))
             return 0
 
         alt = query.best() if args.plan is None \

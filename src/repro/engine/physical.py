@@ -46,6 +46,7 @@ from repro.nal.scalar import (
 )
 from repro.nal.unary_ops import (
     DistinctProject,
+    ElidedSort,
     IndexScan,
     Map,
     Project,
@@ -256,6 +257,14 @@ def _unnest(plan: Unnest, ctx, env: Tup, path) -> list[Tup]:
 def _sort(plan: Sort, ctx, env: Tup, path) -> list[Tup]:
     rows = _child(plan, 0, ctx, env, path)
     return sorted(rows, key=plan.sort_tuple)
+
+
+def _elided_sort(plan: ElidedSort, ctx, env: Tup, path) -> list[Tup]:
+    # Identity: the optimizer proved the child stream already sorted.
+    # checked_rows re-verifies that differentially when the order
+    # subsystem's debug switch is on, and sorts for real if the proof
+    # document was rotated out of the store.
+    return plan.checked_rows(_child(plan, 0, ctx, env, path), ctx)
 
 
 # ----------------------------------------------------------------------
@@ -478,6 +487,7 @@ _DISPATCH = {
     UnnestMap: _unnest_map,
     Unnest: _unnest,
     Sort: _sort,
+    ElidedSort: _elided_sort,
     Cross: _cross,
     Join: _join,
     SemiJoin: _semi_join,

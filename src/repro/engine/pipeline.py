@@ -60,6 +60,7 @@ from repro.nal.scalar import (
 )
 from repro.nal.unary_ops import (
     DistinctProject,
+    ElidedSort,
     IndexScan,
     Map,
     Project,
@@ -301,6 +302,14 @@ def _sort(plan: Sort, ctx, env: Tup, path) -> Iterator[Tup]:
                       key=plan.sort_tuple)
 
 
+def _elided_sort(plan: ElidedSort, ctx, env: Tup, path) -> Iterator[Tup]:
+    # Identity, and — unlike a real Sort — *streaming*: tuples pass
+    # through without blocking, so short-circuiting consumers keep
+    # their first-witness cost.  checked_iter re-verifies sortedness
+    # pairwise when the order subsystem's debug switch is on.
+    yield from plan.checked_iter(_child(plan, 0, ctx, env, path), ctx)
+
+
 # ----------------------------------------------------------------------
 # Binary operators
 # ----------------------------------------------------------------------
@@ -465,6 +474,7 @@ _DISPATCH = {
     UnnestMap: _unnest_map,
     Unnest: _unnest,
     Sort: _sort,
+    ElidedSort: _elided_sort,
     Cross: _cross,
     Join: _join,
     SemiJoin: _semi_join,

@@ -18,7 +18,9 @@ from repro.nal.values import (
     atomize,
     atomize_sequence,
     canonical_key,
+    count_items,
     effective_boolean,
+    has_items,
     iter_items,
 )
 from repro.xmldb.node import Node
@@ -54,7 +56,7 @@ def _single(args: list[Any], name: str) -> Any:
 
 
 def fn_count(args: list[Any]) -> int:
-    return len(iter_items(args[0]))
+    return count_items(args[0])
 
 
 def fn_sum(args: list[Any]) -> float:
@@ -90,11 +92,11 @@ def fn_avg(args: list[Any]) -> Any:
 
 
 def fn_empty(args: list[Any]) -> bool:
-    return len(iter_items(args[0])) == 0
+    return not has_items(args[0])
 
 
 def fn_exists(args: list[Any]) -> bool:
-    return len(iter_items(args[0])) > 0
+    return has_items(args[0])
 
 
 def fn_not(args: list[Any]) -> bool:

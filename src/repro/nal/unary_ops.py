@@ -544,9 +544,109 @@ class Sort(Operator):
         return f"Sort[{keys}]"
 
 
+class ElidedSort(Sort):
+    """A Sort the optimizer proved redundant: its input is already
+    sorted on the requested keys (see
+    :mod:`repro.optimizer.elide_order`), so evaluation is the identity
+    and no n·log n is paid.
+
+    The operator is kept in the plan — rather than dropped — so that
+    EXPLAIN, provenance and the cost model still see where the ordering
+    obligation was discharged (``Sort[elided: …]``).  Under the order
+    subsystem's debug switch (``REPRO_ORDER_DEBUG`` /
+    ``properties.debug_checks``) every engine re-verifies the claim
+    differentially: each adjacent pair of the actual tuple stream is
+    compared under the original sort key, and a violation raises
+    instead of silently reordering output.
+
+    ``proof`` records what a *data-derived* elision rests on: the
+    ``(document name, registration seq)`` whose frozen contents the
+    sortedness guarantee was checked against.  Documents can be rotated
+    (``unregister`` + re-register under the same name), which formally
+    invalidates compiled plans — but rather than silently mis-ordering,
+    an elided sort whose proof no longer matches the store *falls back
+    to actually sorting*.  Structural elisions (≤1 row, sorted-prefix)
+    carry no proof and stay unconditional.
+    """
+
+    def __init__(self, child: Operator, attributes: Sequence[str],
+                 descending: Sequence[bool] | None = None,
+                 proof: tuple[str, int] | None = None):
+        super().__init__(child, attributes, descending)
+        self.proof = proof
+
+    def params(self) -> tuple:
+        return (self.attributes, self.descending, self.proof)
+
+    def rebuild(self, children: tuple) -> "ElidedSort":
+        return ElidedSort(children[0], self.attributes, self.descending,
+                          proof=self.proof)
+
+    def _debug(self) -> bool:
+        from repro.optimizer import properties
+        return properties.debug_enabled()
+
+    def proof_holds(self, ctx) -> bool:
+        """Whether the guarantee document is still the one the elision
+        was proven against (always true for structural elisions)."""
+        if self.proof is None:
+            return True
+        doc_name, seq = self.proof
+        return doc_name in ctx.store and ctx.store.get(doc_name).seq == seq
+
+    def checked_rows(self, rows: list[Tup], ctx) -> list[Tup]:
+        """Materialized identity pass (shared with the physical
+        engine); verifies sortedness when debug checks are on, and
+        sorts for real if the proof document was rotated away."""
+        if not self.proof_holds(ctx):
+            return sorted(rows, key=self.sort_tuple)
+        if self._debug():
+            return list(self.checked_iter(rows, ctx))
+        return rows
+
+    def checked_iter(self, rows: Iterable[Tup], ctx):
+        """Streaming identity pass (shared with the pipelined
+        engine); same verification/fallback as :meth:`checked_rows`."""
+        if not self.proof_holds(ctx):
+            yield from sorted(rows, key=self.sort_tuple)
+            return
+        if not self._debug():
+            yield from rows
+            return
+        previous = None
+        for t in rows:
+            key = self.sort_tuple(t)
+            if previous is not None and key < previous:
+                raise EvaluationError(
+                    f"elided sort {self.label()} received an unsorted "
+                    f"stream at tuple {t!r} — the order-property "
+                    "inference is wrong for this plan")
+            previous = key
+            yield t
+
+    def evaluate(self, ctx, env: Tup = EMPTY_TUPLE) -> list[Tup]:
+        return self.checked_rows(self.child.evaluate(ctx, env), ctx)
+
+    def iterate(self, ctx, env: Tup = EMPTY_TUPLE):
+        return self.checked_iter(self.child.iterate(ctx, env), ctx)
+
+    def label(self) -> str:
+        keys = ", ".join(
+            a + (" desc" if d else "")
+            for a, d in zip(self.attributes, self.descending))
+        return f"Sort[elided: {keys}]"
+
+
 class _Inverted:
     """Wrapper inverting the order of a sort key (descending sort that
-    keeps the underlying sort stable)."""
+    keeps the underlying sort stable).
+
+    Hashable and consistent with ``__eq__`` so that an instance can
+    never poison a hash-based operator: sort keys are built from
+    :func:`~repro.nal.values.sort_key` tuples, which are hashable, and
+    two inverted keys are equal exactly when the wrapped keys are.
+    (Descending ties stay stable because the *key* is inverted rather
+    than the sort reversed.)"""
 
     __slots__ = ("key",)
 
@@ -558,6 +658,9 @@ class _Inverted:
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, _Inverted) and self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(("_Inverted", self.key))
 
 
 def _invert(key: tuple) -> _Inverted:

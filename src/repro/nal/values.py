@@ -32,7 +32,7 @@ from __future__ import annotations
 from typing import Any, Iterable
 
 from repro.errors import EvaluationError
-from repro.xmldb.node import Node
+from repro.xmldb.node import Node, NodeSequence
 
 
 class _Null:
@@ -180,25 +180,87 @@ def atomize_sequence(value: Any) -> list[Any]:
 
 def iter_items(value: Any) -> list[Any]:
     """Flatten a value into a list of items (nodes/atomics/tuples kept
-    as-is), for `for`-clause iteration and function arguments."""
+    as-is), for `for`-clause iteration and function arguments.
+
+    Flat sequences (the common case: a path result is a plain list of
+    nodes) append item-wise instead of recursing, so flattening a
+    12000-node sequence is one pass, not 12000 single-item lists; a
+    :class:`~repro.xmldb.node.NodeSequence` is certified flat and
+    copies without any scan."""
     if value is NULL or value is None:
         return []
+    if type(value) is NodeSequence:
+        return list(value)
     if isinstance(value, (list, tuple)):
         result: list[Any] = []
+        append = result.append
         for item in value:
-            result.extend(iter_items(item))
+            if item is NULL or item is None:
+                continue
+            if isinstance(item, (list, tuple)):
+                result.extend(iter_items(item))
+            else:
+                append(item)
         return result
     return [value]
+
+
+def count_items(value: Any) -> int:
+    """``len(iter_items(value))`` without materializing the flat list
+    (the ``count()``/``exists()``/``empty()`` hot path: a 10⁴-node path
+    result should cost one scan, not one scan plus one copy — and a
+    certified-flat :class:`~repro.xmldb.node.NodeSequence` no scan at
+    all)."""
+    if value is NULL or value is None:
+        return 0
+    if type(value) is NodeSequence:
+        return len(value)
+    if isinstance(value, (list, tuple)):
+        total = 0
+        for item in value:
+            if item is NULL or item is None:
+                continue
+            if isinstance(item, (list, tuple)):
+                total += count_items(item)
+            else:
+                total += 1
+        return total
+    return 1
+
+
+def has_items(value: Any) -> bool:
+    """``bool(iter_items(value))`` with an early exit on the first
+    item."""
+    if value is NULL or value is None:
+        return False
+    if type(value) is NodeSequence:
+        return len(value) > 0
+    if isinstance(value, (list, tuple)):
+        for item in value:
+            if item is NULL or item is None:
+                continue
+            if isinstance(item, (list, tuple)):
+                if has_items(item):
+                    return True
+            else:
+                return True
+        return False
+    return True
 
 
 # ----------------------------------------------------------------------
 # Comparison and keys
 # ----------------------------------------------------------------------
-def _as_number(value: Any) -> float | None:
+def _as_number(value: Any) -> int | float | None:
     if isinstance(value, bool):
         return None
-    if isinstance(value, (int, float)):
-        return float(value)
+    if isinstance(value, int):
+        # Keep integers exact: ints and floats compare and hash
+        # consistently in Python, and float() of a huge int would raise
+        # OverflowError mid-comparison.
+        return value
+    if isinstance(value, float):
+        return value
     if isinstance(value, str):
         try:
             return float(value)
@@ -335,10 +397,32 @@ def effective_boolean(value: Any) -> bool:
 
 
 def sort_key(value: Any) -> tuple:
-    """A total-order key over atomized values (used by the Sort operator);
-    NULL sorts first, numbers before strings.  Sequences (e.g. the node
-    list a path-valued order-by key yields) sort by their items'
-    atomized values — the empty sequence first, like NULL."""
+    """A *total* order key over atomized values (used by the Sort
+    operator and the order-property subsystem), with an explicit type
+    rank so mixed-type key columns never fall into Python's raising
+    cross-type comparison:
+
+    ====  ==============================================================
+    rank  values
+    ====  ==============================================================
+    0     NULL and the empty sequence ("empty least", both directions)
+    1     NaN (every NaN ties — deterministic, unlike raw float NaN,
+          which is incomparable and would corrupt the sort order)
+    2     numbers, and strings that parse as numbers, numerically
+          (consistent with ``compare_atomic``'s coercion; integers are
+          kept exact, so huge ints cannot overflow ``float``)
+    3     booleans (False < True; ``compare_atomic`` declines to order
+          booleans at all, so any deterministic placement is sound)
+    4     strings, by code point
+    5     sequences of ≥2 items, item-wise (a 1-item sequence keys as
+          its item — the node list a path-valued order-by key yields)
+    6     tuples, value-wise
+    ====  ==============================================================
+
+    Ranking numbers as a block before strings is a deliberate deviation
+    from ``compare_atomic``'s pairwise number-vs-string fallback (which
+    is not transitive and therefore cannot induce a total order);
+    within each rank the two agree."""
     if value is NULL or value is None:
         return (0, 0.0)
     if isinstance(value, (list, tuple)):
@@ -346,14 +430,16 @@ def sort_key(value: Any) -> tuple:
             return (0, 0.0)
         if len(value) == 1:
             return sort_key(value[0])
-        return (4, tuple(sort_key(v) for v in value))
+        return (5, tuple(sort_key(v) for v in value))
     if isinstance(value, Tup):
-        return (5, tuple(sort_key(v) for _, v in value.items()))
+        return (6, tuple(sort_key(v) for _, v in value.items()))
     if isinstance(value, Node):
         value = value.string_value()
     number = _as_number(value)
     if number is not None:
-        return (1, number)
+        if number != number:  # NaN: give it one deterministic slot
+            return (1, 0.0)
+        return (2, number)
     if isinstance(value, bool):
-        return (2, value)
-    return (3, str(value))
+        return (3, value)
+    return (4, str(value))

@@ -14,12 +14,25 @@
   enumerates applicable rules and returns ranked plan alternatives;
 - :mod:`repro.optimizer.access_paths` — access-path selection: replaces
   document scans with :class:`~repro.nal.unary_ops.IndexScan` probes
-  when the store has indexes and the cost model prefers them.
+  when the store has indexes and the cost model prefers them;
+- :mod:`repro.optimizer.properties` — the order-property subsystem:
+  bottom-up inference of ``sorted_on`` / document-order /
+  duplicate-freeness per operator, data-derived sortedness guarantees
+  off the frozen arena, and the elision/debug switches;
+- :mod:`repro.optimizer.elide_order` — the pass that downgrades
+  provably redundant Sorts to ``Sort[elided: …]`` no-ops.
 """
 
 from repro.optimizer.access_paths import apply_access_paths
+from repro.optimizer.elide_order import elide_sorts
+from repro.optimizer.properties import (
+    OrderProperties,
+    properties_of,
+    properties_to_string,
+)
 from repro.optimizer.provenance import ColumnOrigin, attr_origin
 from repro.optimizer.rewriter import RewriteResult, unnest_plan
 
 __all__ = ["ColumnOrigin", "attr_origin", "RewriteResult", "unnest_plan",
-           "apply_access_paths"]
+           "apply_access_paths", "OrderProperties", "properties_of",
+           "properties_to_string", "elide_sorts"]

@@ -40,6 +40,7 @@ from repro.nal.scalar import (
 )
 from repro.nal.unary_ops import (
     DistinctProject,
+    ElidedSort,
     IndexScan,
     Map,
     Project,
@@ -182,11 +183,25 @@ class CostModel:
             card = child.cardinality * DEFAULT_FANOUT
             return PlanCost(card, child.total + card,
                             child.first_tuple + 1.0)
+        if isinstance(op, ElidedSort):
+            # The order-property pass proved the input already sorted:
+            # the operator is the identity, so no n·log n is charged
+            # and the child's first-tuple cost streams through — which
+            # is what lets ``best_plan`` rankings genuinely prefer
+            # order-preserving access paths over re-sorting ones.
+            child = self._plan(op.children[0])
+            return PlanCost(child.cardinality, child.total,
+                            child.first_tuple)
         if isinstance(op, Sort):
+            # Key extraction touches every row once (NULL/empty keys
+            # included — "empty least" costs the same constant per
+            # row), then the comparison sort pays n·log n.  Blocking:
+            # first_tuple defaults to total.
             child = self._plan(op.children[0])
             n = max(2.0, child.cardinality)
             return PlanCost(child.cardinality,
-                            child.total + n * math.log2(n))
+                            child.total + child.cardinality
+                            + n * math.log2(n))
         if isinstance(op, Cross):
             left = self._plan(op.children[0])
             right = self._plan(op.children[1])

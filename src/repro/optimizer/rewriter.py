@@ -94,6 +94,14 @@ def unnest_plan(plan: Operator, store: DocumentStore,
     above its scan-based base) where :mod:`repro.optimizer.
     access_paths` finds a cheaper probe; the default ``None`` follows
     the store's ``index_mode`` (off ⇒ scans only).
+
+    Unless :func:`repro.optimizer.properties.elision` turned the order
+    subsystem off, every alternative finally passes through
+    :func:`repro.optimizer.elide_order.elide_sorts`: Sorts whose
+    requirement the order-property inference proves already satisfied
+    become ``Sort[elided: …]`` no-ops (``applied`` gains
+    ``"elide-sort"``), and the cost estimates below price them without
+    the n·log n term.
     """
     if ranking not in ("heuristic", "cost", "cost-first-tuple"):
         raise RewriteError(f"unknown ranking {ranking!r}; use "
@@ -121,6 +129,14 @@ def unnest_plan(plan: Operator, store: DocumentStore,
                     result.label + "+index", rewritten,
                     result.applied + ("access-paths",)))
         results = indexed + results
+    from repro.optimizer import properties
+    if properties.elision_enabled():
+        from repro.optimizer.elide_order import elide_sorts
+        for result in results:
+            elided = elide_sorts(result.plan, store)
+            if elided is not result.plan:
+                result.plan = elided
+                result.applied = result.applied + ("elide-sort",)
     if ranking in ("cost", "cost-first-tuple"):
         if model is None:
             from repro.optimizer.cost import CostModel

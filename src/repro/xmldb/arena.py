@@ -68,7 +68,7 @@ class Arena:
     __slots__ = ("document", "kinds", "name_ids", "texts", "posts",
                  "levels", "parents", "ends", "names", "nodes",
                  "child_lists", "attr_lists", "_name_to_id",
-                 "_tag_pres", "_elem_pres", "_text_pres")
+                 "_tag_pres", "_elem_pres", "_text_pres", "_flat_tags")
 
     def __init__(self, document=None):
         #: the owning Document (None for throwaway arenas built over
@@ -96,6 +96,8 @@ class Arena:
         self._tag_pres: dict[str, list[int]] = {}
         self._elem_pres: list[int] = []
         self._text_pres: list[int] = []
+        #: lazy per-tag flatness verdicts (see :meth:`tag_is_flat`)
+        self._flat_tags: dict[str, bool] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -196,6 +198,24 @@ class Arena:
     def tag_names(self) -> list[str]:
         """Every element tag occurring in the document, sorted."""
         return sorted(self._tag_pres)
+
+    def tag_is_flat(self, name: str) -> bool:
+        """Whether no two ``name`` elements nest — i.e. a
+        ``descendant::name`` result set is always an antichain of
+        disjoint subtrees.  The order-property fast path of the XPath
+        evaluator uses this to keep chaining steps without a dedup
+        pass.  Checked once per tag (the per-tag pre list is in
+        document order, so one linear interval scan suffices) and
+        cached — sound because finalized documents are immutable."""
+        cached = self._flat_tags.get(name)
+        if cached is not None:
+            return cached
+        rows = self._tag_pres.get(name, ())
+        ends = self.ends
+        flat = all(ends[rows[i]] <= rows[i + 1]
+                   for i in range(len(rows) - 1))
+        self._flat_tags[name] = flat
+        return flat
 
     def descendant_elements(self, pre: int) -> list[int]:
         return self._range(self._elem_pres, pre)

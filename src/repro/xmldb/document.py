@@ -51,6 +51,12 @@ class Document:
         if dtd is not None:
             self.schema = SchemaInfo(dtd, root=root.name)
         self.arena = Arena.from_tree(root, document=self)
+        #: cached data-derived order guarantees, keyed by
+        #: ``(context steps, relative steps)`` — see
+        #: :func:`repro.optimizer.properties.value_order_guarantee`.
+        #: Living on the document (not the store) makes the cache's
+        #: lifetime the document's, and the freeze makes it sound.
+        self.order_guarantees: dict[tuple, bool] = {}
 
     @property
     def element_count(self) -> int:

@@ -311,6 +311,22 @@ def element(name: str, *children: Node | str, **attrs: str) -> Node:
     return node
 
 
+class NodeSequence(list):
+    """A list of :class:`Node` handles *certified flat*: no nested
+    sequences, no NULLs — exactly what every XPath evaluation returns.
+
+    The certificate lets sequence consumers trust the shape instead of
+    re-scanning it: ``count()``/``exists()``/``empty()`` over a path
+    result become O(1)/O(1)/O(1) and ``iter_items`` a C-speed copy,
+    which matters once the order-property fast path has reduced a
+    ``//tag`` evaluation itself to a bare arena slice.  Constructors
+    must only wrap sequences that already satisfy the invariant, and
+    consumers must not mutate one (the evaluator hands out fresh
+    instances, so nothing in the engine does)."""
+
+    __slots__ = ()
+
+
 def global_order_key(node: Node) -> tuple[int, int]:
     """A total order over nodes of *any* number of documents:
     ``(document registration sequence, pre)``.  Unregistered trees sort

@@ -26,7 +26,8 @@ from __future__ import annotations
 
 from repro.xmldb import arena as arena_mod
 from repro.errors import XPathError
-from repro.xmldb.node import Node, NodeKind, global_order_key
+from repro.xmldb.node import Node, NodeKind, NodeSequence, \
+    global_order_key
 from repro.xpath.ast import (
     AnyTest,
     ComparisonPredicate,
@@ -46,11 +47,118 @@ def evaluate_path(context: Node | list[Node], path: Path,
     ``stats`` is a :class:`~repro.xmldb.document.ScanStats` (or anything
     with ``record_scan``/``record_visits``); pass ``None`` to skip
     accounting.
+
+    The result is duplicate-free and in document order.  When the step
+    sequence *provably preserves* both — tracked by a small state
+    machine over the axes, seeded by the context's own order state
+    (see :func:`_initial_order_state`) — the final
+    :func:`_document_order_dedup` pass is skipped entirely: after the
+    interval-encoded arena, ``//tag`` slices and child runs are born
+    ordered and duplicate-free, and re-sorting them was the dominant
+    cost of short path evaluations.  The fast path is gated by the
+    order subsystem's elision switch and cross-checked against the full
+    dedup pass under its debug switch (:mod:`repro.optimizer.
+    properties`).
     """
     nodes = [context] if isinstance(context, Node) else list(context)
+    # Seed the analysis only when elision is on: the forced-sort
+    # baseline should not pay for a verdict it will discard.
+    state = _initial_order_state(nodes) \
+        if _order_rules().elision_enabled() else None
     for step in path.steps:
+        if state is not None:
+            state = _order_transition(state, step, nodes)
         nodes = _apply_step(nodes, step, stats)
+    if state is not None and _order_rules().elision_enabled():
+        if _order_rules().debug_enabled():
+            full = _document_order_dedup(nodes)
+            if list(full) != nodes:
+                raise XPathError(
+                    f"order fast path skipped a dedup pass that was "
+                    f"not redundant for path {path} — the step order "
+                    "analysis is wrong")
+        return NodeSequence(nodes)
     return _document_order_dedup(nodes)
+
+
+_ORDER_RULES = None
+
+
+def _order_rules():
+    """The order subsystem's runtime switches, imported lazily — the
+    optimizer layer imports this module (via the scalar language), so a
+    top-level import would be circular."""
+    global _ORDER_RULES
+    if _ORDER_RULES is None:
+        from repro.optimizer import properties
+        _ORDER_RULES = properties
+    return _ORDER_RULES
+
+
+#: context/result order states of the dedup-skip analysis:
+#: ``"disjoint"`` — document order, duplicate-free, and pairwise
+#: non-nested (an antichain of disjoint subtrees: every axis below
+#: keeps order); ``"ordered"`` — document order and duplicate-free,
+#: but nodes may nest (only order-insensitive axes survive);
+#: ``None`` — nothing provable, run the dedup pass.
+def _initial_order_state(nodes: list[Node]) -> str | None:
+    if len(nodes) <= 1:
+        return "disjoint"
+    arena = nodes[0].arena
+    if arena is None or any(n.arena is not arena for n in nodes):
+        return None  # builder trees / multi-document contexts: bail
+    ends = arena.ends
+    state = "disjoint"
+    previous = nodes[0].pre
+    previous_end = ends[previous]
+    for node in nodes[1:]:
+        pre = node.pre
+        if pre <= previous:
+            return None
+        if pre < previous_end:
+            state = "ordered"
+        previous, previous_end = pre, max(previous_end, ends[pre])
+    return state
+
+
+def _order_transition(state: str, step: Step,
+                      context: list[Node]) -> str | None:
+    """How one step transforms the order state of the sequence.
+
+    From a ``disjoint`` context every axis emits its results grouped by
+    context node, groups in document order, members ordered and unique
+    within their disjoint subtree — order and uniqueness are preserved.
+    Whether the *result* is again disjoint decides how much further the
+    chain may grow: children and attributes of disjoint nodes are
+    disjoint; descendants may nest unless the arena's per-tag flatness
+    verdict (:meth:`~repro.xmldb.arena.Arena.tag_is_flat`) or the leaf
+    node kind (text) rules nesting out.  From a merely ``ordered``
+    (possibly nested) context only ``self`` and ``attribute`` stay
+    provable: a child step can emit an ancestor's later children after
+    a descendant's earlier ones, and a descendant step can duplicate.
+    Predicates only filter and never disturb the state."""
+    axis = step.axis
+    if axis == "self":
+        return state
+    if axis == "attribute":
+        # Attribute rows directly follow their (ordered, distinct)
+        # owner elements and are leaves: ordered, unique, disjoint.
+        return "disjoint"
+    if state != "disjoint":
+        return None
+    if axis == "child":
+        return "disjoint"
+    if axis == "descendant":
+        if isinstance(step.test, TextTest):
+            return "disjoint"  # text nodes are leaves
+        if isinstance(step.test, NameTest) and context:
+            arena = context[0].arena
+            if arena is not None \
+                    and all(n.arena is arena for n in context) \
+                    and arena.tag_is_flat(step.test.name):
+                return "disjoint"
+        return "ordered"
+    return None
 
 
 def _apply_step(context: list[Node], step: Step, stats) -> list[Node]:
@@ -88,8 +196,10 @@ def _step_from(node: Node, step: Step, stats) -> list[Node]:
             rows = _descendant_rows(arena, node.pre, step)
             if stats is not None:
                 stats.record_visits(len(rows))
-            nodes = arena.nodes
-            return [nodes[row] for row in rows]
+            # map() materializes the handle slice at C speed — this is
+            # the whole per-evaluation cost once the dedup pass above
+            # is proven redundant, so it matters.
+            return list(map(arena.nodes.__getitem__, rows))
         result = []
         count = 0
         for candidate in node.iter_descendants():
@@ -228,8 +338,9 @@ def streamable_step(nodes: list[Node], path: Path) -> Step | None:
     return step
 
 
-def _document_order_dedup(nodes: list[Node]) -> list[Node]:
-    """Duplicate-free, document-ordered result sequence.
+def _document_order_dedup(nodes: list[Node]) -> "NodeSequence":
+    """Duplicate-free, document-ordered result sequence (certified
+    flat, so sequence consumers need not re-scan it).
 
     Multi-document sequences order by ``(document registration
     sequence, pre)`` — deterministic across runs, unlike the
@@ -242,4 +353,5 @@ def _document_order_dedup(nodes: list[Node]) -> list[Node]:
         if id(node) not in seen:
             seen.add(id(node))
             unique.append(node)
-    return sorted(unique, key=global_order_key)
+    unique.sort(key=global_order_key)
+    return NodeSequence(unique)

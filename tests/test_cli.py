@@ -78,6 +78,39 @@ def test_plan_selection_and_stats(data_dir, query_file, capsys):
     assert "plan: nested" in captured.err
 
 
+def test_properties_flag_annotates_plans(data_dir, capsys):
+    code = main(["--query",
+                 'for $t in doc("bib.xml")//title return $t',
+                 "--docs", str(data_dir), "--properties"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "alternatives" in out
+    # the Υ over //title is provably in document order + duplicate-free
+    assert "doc-order(t)" in out
+    assert "dup-free" in out
+
+
+def test_properties_flag_shows_elided_sorts(tmp_path, capsys):
+    """An order-by key that is sorted in document order (the auction's
+    itemno) must render as an elided sort with its inferred facts."""
+    from repro.datagen import ITEMS_DTD
+    from repro.datagen.auction import generate_items
+    (tmp_path / "items.xml").write_text(
+        serialize(generate_items(12, seed=6)))
+    (tmp_path / "items.dtd").write_text(ITEMS_DTD)
+    code = main(["--query",
+                 'let $d1 := doc("items.xml") '
+                 'for $i1 in $d1//itemtuple '
+                 'let $n1 := zero-or-one($i1/itemno) '
+                 'order by $n1 return <i>{ $n1 }</i>',
+                 "--docs", str(tmp_path), "--properties", "--explain"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Sort[elided: __ord1]" in out
+    assert "sorted_on=[n1]" in out
+    assert "doc-order(i1)" in out
+
+
 def test_cost_ranking_flag(data_dir, query_file, capsys):
     code = main([str(query_file), "--docs", str(data_dir),
                  "--ranking", "cost", "--explain"])
