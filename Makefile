@@ -1,0 +1,30 @@
+# Convenience targets; everything also runs as plain commands with
+# PYTHONPATH=src (no packaging step, no dependencies beyond pytest).
+
+PYTHON ?= python
+
+.PHONY: test bench bench-update bench-check
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+bench:
+	PYTHONPATH=src $(PYTHON) -m repro.bench
+
+# Re-run the standalone benchmarks at the CI sizes and rewrite the
+# tracked BENCH_<query>.json perf-trajectory baselines at the repo
+# root.  Run this (and commit the result) after an intentional perf
+# change or a benchmark size bump; CI's trajectory gate fails on >20%
+# regression against these files.
+bench-update:
+	PYTHONPATH=src $(PYTHON) benchmarks/trajectory.py run-update
+
+# Run the same benchmarks and gate them against the committed
+# baselines without updating anything (what CI does).
+bench-check:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_q7_index.py 2000 /tmp/bench-q7.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_q8_pipeline.py 20 1000 /tmp/bench-q8.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_q9_storage.py 2000 10000 /tmp/bench-q9.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_q10_order.py 600 3000 /tmp/bench-q10.json
+	PYTHONPATH=src $(PYTHON) benchmarks/trajectory.py check \
+		/tmp/bench-q7.json /tmp/bench-q8.json /tmp/bench-q9.json /tmp/bench-q10.json

@@ -1,0 +1,116 @@
+"""Perf-trajectory gate CLI — compare fresh bench artifacts against the
+tracked ``BENCH_<query>.json`` baselines at the repository root.
+
+CI runs the standalone benchmarks (each writes a ``repro-bench/1`` JSON
+artifact) and then gates on them::
+
+    PYTHONPATH=src python benchmarks/trajectory.py check \\
+        bench-q7.json bench-q8.json bench-q9.json bench-q10.json
+
+``check`` exits 1 if any gated metric regressed by more than 20%
+against its baseline, if an artifact was measured at sizes the baseline
+does not cover, or if a gated query has no baseline file.  Only
+machine-independent metrics are gated (speedup ratios and deterministic
+node-visit/probe counters) — raw seconds never cross machines; see
+:mod:`repro.bench.trajectory` for the rules.
+
+To refresh the baselines (after an intentional perf change or a size
+bump), either consolidate existing artifacts::
+
+    PYTHONPATH=src python benchmarks/trajectory.py update bench-*.json
+
+or re-run the benchmarks at the CI sizes and rewrite the baselines in
+one step (this is what ``make bench-update`` does)::
+
+    PYTHONPATH=src python benchmarks/trajectory.py run-update
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import pathlib
+import sys
+import tempfile
+
+from repro.bench.trajectory import THRESHOLD, check, write_baselines
+
+BENCHMARKS_DIR = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = BENCHMARKS_DIR.parent
+
+#: the CI invocation of each standalone benchmark: (script, sizes)
+CI_RUNS = (
+    ("bench_q7_index.py", ("2000",)),
+    ("bench_q8_pipeline.py", ("20", "1000")),
+    ("bench_q9_storage.py", ("2000", "10000")),
+    ("bench_q10_order.py", ("600", "3000")),
+)
+
+
+def _run_bench(script: str, argv: list[str]) -> int:
+    """Import a sibling benchmark by path and call its ``main``."""
+    path = BENCHMARKS_DIR / script
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.main(argv)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/trajectory.py",
+        description="Gate benchmark artifacts against the tracked "
+                    "BENCH_<query>.json perf-trajectory baselines "
+                    f"(fail on >{THRESHOLD:.0%} regression).")
+    parser.add_argument("command", choices=("check", "update",
+                                            "run-update"))
+    parser.add_argument("artifacts", nargs="*",
+                        help="bench JSON artifacts (check/update)")
+    parser.add_argument("--baseline-dir", default=str(REPO_ROOT),
+                        help="directory holding BENCH_<query>.json "
+                             "(default: the repository root)")
+    args = parser.parse_args(argv)
+
+    if args.command in ("check", "update") and not args.artifacts:
+        parser.error(f"{args.command} needs at least one artifact")
+
+    if args.command == "check":
+        issues = check(args.artifacts, args.baseline_dir)
+        if issues:
+            print("perf-trajectory gate FAILED:", file=sys.stderr)
+            for issue in issues:
+                print(f"  - {issue}", file=sys.stderr)
+            return 1
+        print(f"perf-trajectory gate passed "
+              f"({len(args.artifacts)} artifact(s), "
+              f"threshold {THRESHOLD:.0%})")
+        return 0
+
+    if args.command == "update":
+        written = write_baselines(args.artifacts, args.baseline_dir)
+        for path in written:
+            print(f"wrote {path}")
+        return 0
+
+    # run-update: re-run every benchmark at the CI sizes, then rewrite
+    # the baselines from the fresh artifacts.
+    with tempfile.TemporaryDirectory() as tmp:
+        artifacts: list[str] = []
+        for script, sizes in CI_RUNS:
+            out = str(pathlib.Path(tmp) / f"{pathlib.Path(script).stem}"
+                                          ".json")
+            print(f"== {script} {' '.join(sizes)} ==")
+            status = _run_bench(script, [*sizes, out])
+            if status:
+                print(f"error: {script} exited {status}",
+                      file=sys.stderr)
+                return status
+            artifacts.append(out)
+        written = write_baselines(artifacts, args.baseline_dir)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -177,6 +177,7 @@ return <popular-item> { $i1 } </popular-item>
     show_pipelined_execution()
     show_arena_storage()
     show_order_properties()
+    show_observability()
 
 
 def show_access_paths() -> None:
@@ -350,6 +351,38 @@ return <item>{ $n1 }</item>
           " the inference proved")
     print("  already sorted is the identity — the elided plan just"
           " stopped paying for it.")
+    print()
+
+
+def show_observability() -> None:
+    """The same machinery the CLI's ``trace`` subcommand and
+    ``--timing`` flag use: one trace covering the whole query
+    lifecycle, one request-scoped metrics registry."""
+    from repro.api import trace_query
+    from repro.datagen import ITEMS_DTD, generate_items
+
+    db = Database()
+    db.register_tree("items.xml", generate_items(50, seed=3),
+                     dtd_text=ITEMS_DTD)
+    text = """
+let $d1 := doc("items.xml")
+for $i1 in $d1//itemtuple
+where $i1/reserveprice > 300
+return <pricey>{ $i1/itemno }</pricey>
+"""
+    print(SEPARATOR)
+    print("Observability — lifecycle trace and per-operator metrics")
+    print("(`python -m repro trace query.xq --docs … --out trace.json`"
+          " from the CLI)")
+    alt, result = trace_query(text, db, mode="pipelined")
+    print(f"  plan: {alt.label}, {len(result.rows)} rows")
+    for line in result.trace.to_pretty().splitlines():
+        print(f"  {line}")
+    print("  -- request-scoped metrics --")
+    for line in result.metrics.to_pretty().splitlines():
+        print(f"  {line}")
+    print("  result.trace.chrome_json() exports the same spans as")
+    print("  Chrome trace_event JSON for chrome://tracing / Perfetto.")
     print()
 
 

@@ -16,6 +16,17 @@ statistics (row/kind counts, per-tag element counts, depth histogram —
 the exact numbers the cost model plans with)::
 
     python -m repro stats bib.xml --docs ./data
+
+The ``trace`` subcommand runs a query with full lifecycle tracing
+(lex/parse → normalize → translate → optimizer passes → execution with
+per-operator spans) and prints the span tree; ``--out trace.json``
+additionally writes Chrome ``trace_event`` JSON loadable in
+``chrome://tracing`` or Perfetto::
+
+    python -m repro trace query.xq --docs ./data --out trace.json
+
+``--timing`` on the main form does the same inline: the query output
+goes to stdout, the span tree and per-operator metrics to stderr.
 """
 
 from __future__ import annotations
@@ -69,6 +80,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--mode",
                         choices=("physical", "pipelined", "reference"),
                         default="physical", help="execution engine")
+    parser.add_argument("--timing", action="store_true",
+                        help="trace the query lifecycle and print the "
+                             "span tree plus per-operator metrics to "
+                             "stderr (physical/pipelined mode)")
     return parser
 
 
@@ -150,10 +165,73 @@ def stats_main(argv: list[str]) -> int:
         return 1
 
 
+def build_trace_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Run a query with full lifecycle tracing and print "
+                    "the span tree (compile stages, optimizer passes, "
+                    "execution, per-operator spans) plus request-scoped "
+                    "metrics.")
+    parser.add_argument("query_file", nargs="?",
+                        help="file containing the XQuery text")
+    parser.add_argument("--query", "-q",
+                        help="query text given inline instead of a file")
+    parser.add_argument("--doc", action="append", default=[],
+                        metavar="NAME=PATH",
+                        help="register PATH under document NAME "
+                             "(repeatable)")
+    parser.add_argument("--docs", metavar="DIR",
+                        help="register every *.xml file in DIR under "
+                             "its file name")
+    parser.add_argument("--plan", default=None,
+                        help="trace this plan alternative (default: best)")
+    parser.add_argument("--ranking",
+                        choices=("heuristic", "cost", "cost-first-tuple"),
+                        default="heuristic", help="plan ranking strategy")
+    parser.add_argument("--mode", choices=("physical", "pipelined"),
+                        default="physical", help="execution engine")
+    parser.add_argument("--out", metavar="PATH",
+                        help="also write Chrome trace_event JSON to PATH "
+                             "(open in chrome://tracing or Perfetto)")
+    return parser
+
+
+def trace_main(argv: list[str]) -> int:
+    args = build_trace_arg_parser().parse_args(argv)
+    try:
+        from repro.api import trace_query
+        text = load_query_text(args)
+        db = Database()
+        registered = register_documents(db, args)
+        if registered == 0:
+            print("warning: no documents registered "
+                  "(use --doc or --docs)", file=sys.stderr)
+        alt, result = trace_query(text, db, mode=args.mode,
+                                  label=args.plan, ranking=args.ranking)
+        rules = "+".join(alt.applied) if alt.applied else "nested"
+        print(f"# plan: {alt.label} ({rules})  mode: {args.mode}")
+        print(result.trace.to_pretty())
+        print()
+        print(result.metrics.to_pretty())
+        if args.out:
+            pathlib.Path(args.out).write_text(result.trace.chrome_json())
+            print(f"# wrote {args.out} "
+                  "(chrome://tracing / Perfetto)", file=sys.stderr)
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else argv
     if argv and argv[0] == "stats":
         return stats_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     args = build_arg_parser().parse_args(argv)
     try:
         text = load_query_text(args)
@@ -162,7 +240,13 @@ def main(argv: list[str] | None = None) -> int:
         if registered == 0:
             print("warning: no documents registered "
                   "(use --doc or --docs)", file=sys.stderr)
-        query = compile_query(text, db, ranking=args.ranking)
+        tracer = metrics = None
+        if args.timing:
+            from repro.obs import MetricsRegistry, Tracer
+            tracer = Tracer()
+            metrics = MetricsRegistry()
+        query = compile_query(text, db, ranking=args.ranking,
+                              tracer=tracer)
 
         if args.explain or args.properties:
             if args.properties:
@@ -191,8 +275,14 @@ def main(argv: list[str] | None = None) -> int:
         alt = query.best() if args.plan is None \
             else query.plan_named(args.plan)
         result = db.execute(alt.plan, mode=args.mode,
-                            analyze=args.analyze)
+                            analyze=args.analyze,
+                            tracer=tracer, metrics=metrics)
         print(result.output)
+        if args.timing:
+            print("== TRACE ==", file=sys.stderr)
+            print(tracer.to_pretty(), file=sys.stderr)
+            print("== METRICS ==", file=sys.stderr)
+            print(metrics.to_pretty(), file=sys.stderr)
         if args.analyze:
             from repro.engine.executor import analyze_to_string
             print("== EXPLAIN ANALYZE ==", file=sys.stderr)

@@ -19,6 +19,8 @@ from __future__ import annotations
 from repro.engine.executor import ExecutionResult, execute
 from repro.nal.algebra import Operator
 from repro.nal.pretty import plan_to_string
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, maybe_span
 from repro.optimizer.rewriter import RewriteResult, unnest_plan
 from repro.xmldb.document import Document, DocumentStore
 from repro.xmldb.dtd import parse_dtd
@@ -71,7 +73,8 @@ class Database:
 
     # ------------------------------------------------------------------
     def execute(self, plan: Operator, mode: str = "physical",
-                analyze: bool = False) -> ExecutionResult:
+                analyze: bool = False,
+                tracer=None, metrics=None) -> ExecutionResult:
         """Run a plan; returns rows, constructed output and scan stats.
 
         ``mode`` is ``"physical"`` (materializing hash engine),
@@ -79,23 +82,37 @@ class Database:
         quantifiers) or ``"reference"`` (definitional semantics).
         ``analyze=True`` records per-operator invocation/row counts
         keyed by tree position (EXPLAIN ANALYZE; physical or pipelined
-        mode)."""
-        return execute(plan, self.store, mode=mode, analyze=analyze)
+        mode).  ``tracer``/``metrics`` attach a
+        :class:`~repro.obs.trace.Tracer` and a request-scoped
+        :class:`~repro.obs.metrics.MetricsRegistry` (see
+        :mod:`repro.obs`)."""
+        return execute(plan, self.store, mode=mode, analyze=analyze,
+                       tracer=tracer, metrics=metrics)
 
 
 class CompiledQuery:
     """A query taken through parse → normalize → translate, with lazy
-    access to the optimizer's plan alternatives."""
+    access to the optimizer's plan alternatives.
+
+    ``tracer`` (a :class:`~repro.obs.trace.Tracer`) records one span
+    per compilation stage — lex/parse, normalize, translate — plus the
+    optimizer-pass spans of :func:`~repro.optimizer.rewriter.
+    unnest_plan` when :meth:`plans` is first evaluated, so the whole
+    query lifecycle lands in one trace."""
 
     def __init__(self, text: str, db: Database,
-                 ranking: str = "heuristic"):
+                 ranking: str = "heuristic", tracer=None):
         self.text = text
         self.db = db
         self.ranking = ranking
-        self.ast = parse_xquery(text)
-        self.normalized = normalize(self.ast)
-        self.translation: Translation = translate(self.normalized,
-                                                  db.store)
+        self.tracer = tracer
+        with maybe_span(tracer, "lex/parse", "compile", chars=len(text)):
+            self.ast = parse_xquery(text)
+        with maybe_span(tracer, "normalize", "compile"):
+            self.normalized = normalize(self.ast)
+        with maybe_span(tracer, "translate", "compile"):
+            self.translation: Translation = translate(self.normalized,
+                                                      db.store)
         self._plans: list[RewriteResult] | None = None
 
     @property
@@ -109,7 +126,8 @@ class CompiledQuery:
         estimated cost)."""
         if self._plans is None:
             self._plans = unnest_plan(self.plan, self.db.store,
-                                      ranking=self.ranking)
+                                      ranking=self.ranking,
+                                      tracer=self.tracer)
         return self._plans
 
     def plan_named(self, label: str) -> RewriteResult:
@@ -137,13 +155,41 @@ class CompiledQuery:
 
 
 def compile_query(text: str, db: Database,
-                  ranking: str = "heuristic") -> CompiledQuery:
+                  ranking: str = "heuristic",
+                  tracer=None) -> CompiledQuery:
     """Parse, normalize and translate an XQuery against a database.
 
     ``ranking`` selects how plan alternatives are ordered:
     ``"heuristic"`` (the paper's measured plan hierarchy), ``"cost"``
     (the all-tuples estimator of :mod:`repro.optimizer.cost`) or
     ``"cost-first-tuple"`` (time-to-first-tuple, the pipelined
-    engine's figure of merit).
+    engine's figure of merit).  ``tracer`` threads a
+    :class:`~repro.obs.trace.Tracer` through every compilation and
+    optimization stage.
     """
-    return CompiledQuery(text, db, ranking=ranking)
+    return CompiledQuery(text, db, ranking=ranking, tracer=tracer)
+
+
+def trace_query(text: str, db: Database, mode: str = "physical",
+                label: str | None = None, ranking: str = "heuristic",
+                analyze: bool = False
+                ) -> tuple[RewriteResult, ExecutionResult]:
+    """Run ``text`` with full query-lifecycle observability.
+
+    Compiles with a fresh :class:`~repro.obs.trace.Tracer` (spans for
+    lex/parse, normalize, translate, every optimizer pass, execution
+    and every operator invocation) and a request-scoped
+    :class:`~repro.obs.metrics.MetricsRegistry`, then executes the
+    best plan (or the alternative named ``label``).  Returns
+    ``(alternative, result)``; ``result.trace`` and ``result.metrics``
+    carry the recordings — export with ``result.trace.chrome_json()``
+    or render with ``result.trace.to_pretty()``.  This is what the CLI
+    ``trace`` subcommand and ``--timing`` flag are built on.
+    """
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    query = compile_query(text, db, ranking=ranking, tracer=tracer)
+    alt = query.best() if label is None else query.plan_named(label)
+    result = execute(alt.plan, db.store, mode=mode, analyze=analyze,
+                     tracer=tracer, metrics=metrics)
+    return alt, result

@@ -25,6 +25,12 @@ class MeasuredPlan:
     document_scans: dict[str, int]
     output: str
     index_probes: dict[str, int] | None = None
+    #: total arena rows touched (deterministic on seeded documents, so
+    #: the perf-trajectory gate can compare it exactly across machines)
+    node_visits: int = 0
+    #: request-scoped counter snapshot from :mod:`repro.obs.metrics`
+    #: (filled when :func:`measure_query` ran with capture_metrics)
+    metrics: dict | None = None
 
     @property
     def total_scans(self) -> int:
@@ -37,7 +43,7 @@ class MeasuredPlan:
     def to_record(self) -> dict:
         """A JSON-serializable summary (the output text is reduced to
         its length — results can be megabytes)."""
-        return {
+        record = {
             "label": self.label,
             "applied": list(self.applied),
             "seconds": self.seconds,
@@ -45,16 +51,27 @@ class MeasuredPlan:
             "total_scans": self.total_scans,
             "index_probes": dict(self.index_probes or {}),
             "total_probes": self.total_probes,
+            "node_visits": self.node_visits,
             "output_chars": len(self.output),
         }
+        if self.metrics is not None:
+            record["metrics"] = self.metrics
+        return record
 
 
 def measure_query(key: str, repeat: int = 1,
                   labels: tuple[str, ...] | None = None,
+                  capture_metrics: bool = False,
                   **db_params) -> list[MeasuredPlan]:
     """Compile one of the paper's queries against a freshly generated
     database and execute each plan variant ``repeat`` times (reporting
-    the minimum, as the paper's timings do)."""
+    the minimum, as the paper's timings do).
+
+    ``capture_metrics=True`` attaches a request-scoped
+    :class:`~repro.obs.metrics.MetricsRegistry` to one extra,
+    *untimed* execution per plan and stores its counter snapshot on
+    :attr:`MeasuredPlan.metrics` — per-operator invocation/row counts
+    ride along without instrumentation overhead touching the timings."""
     spec = PAPER_QUERIES[key]
     db = spec.build_db(**db_params)
     compiled = compile_query(spec.text, db)
@@ -68,10 +85,18 @@ def measure_query(key: str, repeat: int = 1,
             result = db.execute(alt.plan)
             best = min(best, result.elapsed)
         assert result is not None
+        metrics_snapshot = None
+        if capture_metrics:
+            from repro.obs.metrics import MetricsRegistry
+            registry = MetricsRegistry()
+            db.execute(alt.plan, metrics=registry)
+            metrics_snapshot = registry.snapshot()["counters"]
         measured.append(MeasuredPlan(label, alt.applied, best,
                                      result.stats["document_scans"],
                                      result.output,
-                                     result.stats.get("index_probes")))
+                                     result.stats.get("index_probes"),
+                                     result.stats.get("node_visits", 0),
+                                     metrics_snapshot))
     return measured
 
 

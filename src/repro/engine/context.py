@@ -9,14 +9,27 @@ class EvalContext:
     """Carries everything operator evaluation needs:
 
     - ``store`` — the document store ``doc("...")`` resolves against;
-    - ``stats`` — scan statistics (defaults to the store's counters);
+    - ``stats`` — scan statistics for *this* evaluation.
+      :func:`~repro.engine.executor.execute` passes a fresh
+      request-scoped :class:`~repro.xmldb.document.ScanStats` so two
+      interleaved executions cannot cross-contaminate counters; the
+      store's shared instance is only a process-wide cumulative tally
+      (and the explicit opt-in target of ``reset_stats=False``).
+    - ``tracer`` — a :class:`~repro.obs.trace.Tracer` or ``None``; when
+      set, both engines open one span per operator invocation.
+    - ``metrics`` — a :class:`~repro.obs.metrics.MetricsRegistry` or
+      ``None``; when set, the engines record per-operator rows/time and
+      the executor folds the scan statistics in at the end.
     - the Ξ output stream, appended to via :meth:`emit`.
     """
 
     def __init__(self, store: DocumentStore,
-                 stats: ScanStats | None = None):
+                 stats: ScanStats | None = None,
+                 tracer=None, metrics=None):
         self.store = store
-        self.stats = stats if stats is not None else store.stats
+        self.stats = stats if stats is not None else ScanStats()
+        self.tracer = tracer
+        self.metrics = metrics
         self._output: list[str] = []
         #: when not None, the physical/pipelined engines record
         #: per-operator (invocations, output rows) keyed by tree

@@ -8,9 +8,10 @@ import time
 from repro.engine.context import EvalContext
 from repro.engine.physical import ROOT_PATH, run_physical
 from repro.engine.pipeline import run_pipelined
+from repro.errors import UnsupportedModeError
 from repro.nal.algebra import Operator
 from repro.nal.values import Tup
-from repro.xmldb.document import DocumentStore
+from repro.xmldb.document import DocumentStore, ScanStats
 
 #: execution modes accepted by :func:`execute`
 MODES = ("physical", "pipelined", "reference")
@@ -22,12 +23,15 @@ class ExecutionResult:
     def __init__(self, rows: list[Tup], output: str, stats: dict,
                  elapsed: float,
                  operator_counts: dict[tuple, tuple[int, int]]
-                 | None = None):
+                 | None = None,
+                 trace=None, metrics=None):
         #: the operator tree's result sequence
         self.rows = rows
         #: the XML text the Ξ operators constructed
         self.output = output
-        #: scan-statistics snapshot (document scans, node visits)
+        #: scan-statistics snapshot (document scans, node visits) —
+        #: collected request-scoped, so it describes exactly this
+        #: execution even when other executions ran concurrently
         self.stats = stats
         #: wall-clock seconds
         self.elapsed = elapsed
@@ -37,6 +41,12 @@ class ExecutionResult:
         #: second child of the first child.  None unless execute() ran
         #: with analyze=True.
         self.operator_counts = operator_counts
+        #: the :class:`~repro.obs.trace.Tracer` the execution recorded
+        #: spans into (None unless one was passed to execute())
+        self.trace = trace
+        #: the :class:`~repro.obs.metrics.MetricsRegistry` holding this
+        #: request's counters/histograms (None unless one was passed)
+        self.metrics = metrics
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<ExecutionResult rows={len(self.rows)} "
@@ -48,7 +58,8 @@ class ExecutionResult:
 def execute(plan: Operator, store: DocumentStore,
             mode: str = "physical",
             reset_stats: bool = True,
-            analyze: bool = False) -> ExecutionResult:
+            analyze: bool = False,
+            tracer=None, metrics=None) -> ExecutionResult:
     """Execute a plan against a document store.
 
     ``mode="physical"`` uses the hash-based engine (the default; what the
@@ -59,18 +70,40 @@ def execute(plan: Operator, store: DocumentStore,
     semantics (useful for differential testing).  ``analyze=True``
     (physical or pipelined mode) additionally records per-operator
     invocation and row counts keyed by tree position — render them with
-    :func:`~repro.engine.executor.analyze_to_string`.
+    :func:`~repro.engine.executor.analyze_to_string`; under
+    ``mode="reference"`` it raises
+    :class:`~repro.errors.UnsupportedModeError` (the definitional
+    evaluator has no measurement hooks).
+
+    Scan statistics are collected *request-scoped*: each call gets a
+    fresh :class:`~repro.xmldb.document.ScanStats`, so interleaved
+    executions against one store cannot cross-contaminate counters.
+    The store's shared ``stats`` keeps a cumulative process-wide tally
+    (each request is absorbed into it on completion);
+    ``reset_stats=False`` opts into recording *directly* against those
+    shared counters, accumulating across calls.
+
+    ``tracer`` (a :class:`~repro.obs.trace.Tracer`) records an
+    ``execute[mode]`` span plus one nested span per operator
+    invocation in the physical/pipelined engines; ``metrics`` (a
+    :class:`~repro.obs.metrics.MetricsRegistry`) collects per-operator
+    rows/time and the scan statistics as counters.  Both default to
+    off and cost nothing when absent.
     """
     if mode not in MODES:
         raise ValueError(f"unknown execution mode {mode!r}")
     if analyze and mode == "reference":
-        raise ValueError(
-            "analyze=True requires mode='physical' or 'pipelined'")
-    if reset_stats:
-        store.stats.reset()
-    ctx = EvalContext(store)
+        raise UnsupportedModeError(
+            "analyze=True is not supported under mode='reference': the "
+            "definitional evaluator has no per-operator measurement "
+            "hooks, so EXPLAIN ANALYZE would silently return nothing — "
+            "use mode='physical' or mode='pipelined'")
+    stats = ScanStats() if reset_stats else store.stats
+    ctx = EvalContext(store, stats=stats, tracer=tracer, metrics=metrics)
     if analyze:
         ctx.analyze_counts = {}
+    span = None if tracer is None \
+        else tracer.begin(f"execute[{mode}]", "lifecycle", mode=mode)
     start = time.perf_counter()
     if mode == "physical":
         rows = run_physical(plan, ctx)
@@ -79,9 +112,31 @@ def execute(plan: Operator, store: DocumentStore,
     else:
         rows = plan.evaluate(ctx)
     elapsed = time.perf_counter() - start
+    if span is not None:
+        span.finish()
+    if stats is not store.stats:
+        # Keep the shared counters meaningful as a process-wide total
+        # without ever reading them for a result.
+        store.stats.absorb(stats)
+    if metrics is not None:
+        _scan_stats_to_metrics(stats, metrics)
+        metrics.gauge("execution.rows").set(len(rows))
+        metrics.gauge("execution.seconds").set(elapsed)
     return ExecutionResult(rows, ctx.output_text(),
-                           store.stats.snapshot(), elapsed,
-                           operator_counts=ctx.analyze_counts)
+                           stats.snapshot(), elapsed,
+                           operator_counts=ctx.analyze_counts,
+                           trace=tracer, metrics=metrics)
+
+
+def _scan_stats_to_metrics(stats: ScanStats, metrics) -> None:
+    """Fold a request's scan statistics into its metrics registry."""
+    metrics.counter("scan.document_scans").inc(stats.total_scans)
+    metrics.counter("scan.node_visits").inc(stats.node_visits)
+    metrics.counter("index.probes").inc(stats.total_probes)
+    metrics.counter("xpath.order_fastpath_hits").inc(
+        stats.order_fastpath_hits)
+    metrics.counter("xpath.order_dedup_passes").inc(
+        stats.order_dedup_passes)
 
 
 def analyze_to_string(plan: Operator,
@@ -125,3 +180,19 @@ def analyze_to_string(plan: Operator,
 
     walk(plan, 0, ROOT_PATH)
     return "\n".join(lines)
+
+
+def operators_by_path(plan: Operator) -> dict[tuple, Operator]:
+    """Tree position → operator, for every position the engines can
+    record under (nested subscript plans excluded — they are never
+    measured).  The companion of ``ExecutionResult.operator_counts``
+    for reconciling EXPLAIN ANALYZE with the metrics registry."""
+    out: dict[tuple, Operator] = {}
+
+    def walk(op: Operator, path: tuple) -> None:
+        out[path] = op
+        for index, child in enumerate(op.children):
+            walk(child, path + (index,))
+
+    walk(plan, ROOT_PATH)
+    return out

@@ -29,6 +29,7 @@ randomized plans and inputs.
 
 from __future__ import annotations
 
+import time
 from typing import Any
 
 from repro.errors import EvaluationError
@@ -92,11 +93,36 @@ def run_physical(plan: Operator, ctx, env: Tup = EMPTY_TUPLE,
     if handler is None:
         raise EvaluationError(
             f"no physical implementation for {type(plan).__name__}")
-    rows = handler(plan, ctx, env, path)
+    if ctx.tracer is None and ctx.metrics is None:
+        rows = handler(plan, ctx, env, path)
+    else:
+        rows = _observed(handler, plan, ctx, env, path)
     counts = ctx.analyze_counts
     if counts is not None:
         calls, total = counts.get(path, (0, 0))
         counts[path] = (calls + 1, total + len(rows))
+    return rows
+
+
+def _observed(handler, plan: Operator, ctx, env: Tup,
+              path: tuple[int, ...]) -> list[Tup]:
+    """One operator invocation under observation: a span per call (the
+    tree position in its args) and per-operator-class rows/seconds in
+    the metrics registry.  Durations are inclusive of children — the
+    span nesting attributes time, exactly as a profiler view would."""
+    tracer, metrics = ctx.tracer, ctx.metrics
+    span = None if tracer is None else \
+        tracer.begin(plan.label(), "operator", path=list(path))
+    start = time.perf_counter()
+    rows = handler(plan, ctx, env, path)
+    elapsed = time.perf_counter() - start
+    if span is not None:
+        span.finish()
+    if metrics is not None:
+        name = type(plan).__name__
+        metrics.counter(f"operator.{name}.invocations").inc()
+        metrics.counter(f"operator.{name}.rows_out").inc(len(rows))
+        metrics.histogram(f"operator.{name}.seconds").observe(elapsed)
     return rows
 
 

@@ -36,6 +36,7 @@ included, on randomized plans and documents.
 
 from __future__ import annotations
 
+import time
 from typing import Iterator
 
 from repro.errors import EvaluationError
@@ -111,10 +112,43 @@ def run_pipelined(plan: Operator, ctx, env: Tup = EMPTY_TUPLE,
         raise EvaluationError(
             f"no pipelined implementation for {type(plan).__name__}")
     gen = handler(plan, ctx, env, path)
-    counts = ctx.analyze_counts
-    if counts is None or path is None:
+    if path is None:
+        # Nested subscript plans stay unmeasured (charged to the host
+        # operator), under analyze counters, tracing and metrics alike.
         return gen
-    return _counted(gen, counts, path)
+    counts = ctx.analyze_counts
+    if counts is not None:
+        gen = _counted(gen, counts, path)
+    if ctx.tracer is not None or ctx.metrics is not None:
+        gen = _observed(gen, plan, ctx, path)
+    return gen
+
+
+def _observed(gen: Iterator[Tup], plan: Operator, ctx,
+              path: tuple[int, ...]) -> Iterator[Tup]:
+    """Observe one pipelined operator: its span opens at the first pull
+    and closes when the generator is exhausted *or abandoned* (a
+    short-circuiting consumer closes it early — the span honestly shows
+    how long the operator was live), and the metrics registry receives
+    per-operator-class rows/seconds on the way out."""
+    tracer, metrics = ctx.tracer, ctx.metrics
+    span = None if tracer is None else \
+        tracer.begin(plan.label(), "operator", path=list(path))
+    rows = 0
+    start = time.perf_counter()
+    try:
+        for t in gen:
+            rows += 1
+            yield t
+    finally:
+        if span is not None:
+            span.finish()
+        if metrics is not None:
+            name = type(plan).__name__
+            metrics.counter(f"operator.{name}.invocations").inc()
+            metrics.counter(f"operator.{name}.rows_out").inc(rows)
+            metrics.histogram(f"operator.{name}.seconds").observe(
+                time.perf_counter() - start)
 
 
 def _counted(gen: Iterator[Tup], counts: dict,

@@ -98,6 +98,15 @@ class DuplicateDocumentError(ReproError):
         self.name = name
 
 
+class UnsupportedModeError(ReproError, ValueError):
+    """Raised when an execution option is not supported by the selected
+    engine mode — e.g. ``analyze=True`` under ``mode="reference"``: the
+    definitional evaluator has no per-operator measurement hooks, so
+    silently returning an unmeasured result would misreport rather than
+    measure.  (Also a :class:`ValueError` so pre-existing callers that
+    caught the old generic error keep working.)"""
+
+
 class RewriteError(ReproError):
     """Raised when the optimizer is asked to apply an inapplicable rewrite."""
 

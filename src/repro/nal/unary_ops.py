@@ -594,22 +594,42 @@ class ElidedSort(Sort):
         doc_name, seq = self.proof
         return doc_name in ctx.store and ctx.store.get(doc_name).seq == seq
 
+    def _record_elision(self, ctx, taken: bool) -> None:
+        # Metrics are request-scoped and optional (ctx may be any
+        # evaluation context); elisions that streamed vs. elisions
+        # forced back into a real sort are the order subsystem's
+        # health signal.
+        metrics = getattr(ctx, "metrics", None)
+        if metrics is not None:
+            metrics.counter("elision.sorts_taken" if taken
+                            else "elision.sorts_forced").inc()
+
     def checked_rows(self, rows: list[Tup], ctx) -> list[Tup]:
         """Materialized identity pass (shared with the physical
         engine); verifies sortedness when debug checks are on, and
         sorts for real if the proof document was rotated away."""
         if not self.proof_holds(ctx):
+            self._record_elision(ctx, taken=False)
             return sorted(rows, key=self.sort_tuple)
+        self._record_elision(ctx, taken=True)
         if self._debug():
-            return list(self.checked_iter(rows, ctx))
+            return list(self._verified_iter(rows, ctx))
         return rows
 
     def checked_iter(self, rows: Iterable[Tup], ctx):
         """Streaming identity pass (shared with the pipelined
         engine); same verification/fallback as :meth:`checked_rows`."""
         if not self.proof_holds(ctx):
+            self._record_elision(ctx, taken=False)
             yield from sorted(rows, key=self.sort_tuple)
             return
+        self._record_elision(ctx, taken=True)
+        yield from self._verified_iter(rows, ctx)
+
+    def _verified_iter(self, rows: Iterable[Tup], ctx):
+        """The identity stream, pairwise-verified under the debug
+        switch (factored out so the elision counters fire once per
+        operator evaluation, not once per fallback layer)."""
         if not self._debug():
             yield from rows
             return

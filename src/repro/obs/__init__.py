@@ -1,0 +1,31 @@
+"""Observability: query-lifecycle tracing and request-scoped metrics.
+
+The subsystem is deliberately zero-dependency and opt-in: when no
+:class:`~repro.obs.trace.Tracer` or
+:class:`~repro.obs.metrics.MetricsRegistry` is attached to an
+evaluation, the engines pay only a ``None`` check per operator
+invocation (the Q8 benchmark measures and asserts that this disabled
+overhead stays under 3%).
+
+- :mod:`repro.obs.trace` — nested spans covering the full query
+  lifecycle (lex/parse → normalize → translate → optimizer passes →
+  execution, with per-operator spans inside both engines), exportable
+  as Chrome ``trace_event`` JSON (``chrome://tracing`` / Perfetto) or
+  pretty-printed as an indented tree.
+- :mod:`repro.obs.metrics` — counters, gauges and histograms
+  (p50/p95/p99) collected per request and threaded through
+  :class:`~repro.engine.context.EvalContext`.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import Span, Tracer, maybe_span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "maybe_span",
+]

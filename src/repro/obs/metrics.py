@@ -1,0 +1,177 @@
+"""Request-scoped metrics: counters, gauges and histograms.
+
+A :class:`MetricsRegistry` is created per request (one ``execute()``
+call) and threaded through :class:`~repro.engine.context.EvalContext`,
+replacing the previous ad-hoc plumbing where scan counters lived in
+shared module state.  Two interleaved executions each hold their own
+registry, so their counters cannot cross-contaminate — the property the
+upcoming query server relies on.
+
+Instrument names are flat dotted strings; the conventions used by the
+engines:
+
+- ``operator.<Type>.invocations`` / ``operator.<Type>.rows_out`` —
+  per-operator-class totals (reconciling with EXPLAIN ANALYZE's
+  per-tree-position counts is pinned by tests).
+- ``operator.<Type>.seconds`` — inclusive per-invocation wall time
+  (histogram: p50/p95/p99).
+- ``scan.document_scans`` / ``scan.node_visits`` / ``index.probes`` —
+  the classic scan statistics, copied from the request's
+  :class:`~repro.xmldb.document.ScanStats`.
+- ``xpath.order_fastpath_hits`` / ``xpath.order_dedup_passes`` — arena
+  fast-path evaluations vs. full dedup-sort passes.
+- ``elision.sorts_taken`` / ``elision.sorts_forced`` — elided sorts
+  that streamed vs. elisions that fell back to a real sort because the
+  proof document was rotated out of the store.
+"""
+
+from __future__ import annotations
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.value}>"
+
+
+class Gauge:
+    """A last-write-wins value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value: float | int | None = None
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.value}>"
+
+
+class Histogram:
+    """A distribution of observed values with nearest-rank quantiles.
+
+    Observations are kept (a request touches thousands of operators,
+    not millions), so quantiles are exact rather than estimated — the
+    right trade-off for a per-request registry."""
+
+    __slots__ = ("values",)
+
+    def __init__(self):
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    def percentile(self, p: float) -> float | None:
+        """Nearest-rank percentile (``p`` in [0, 100]); None when no
+        value was observed."""
+        if not self.values:
+            return None
+        ordered = sorted(self.values)
+        if p <= 0:
+            return ordered[0]
+        rank = max(1, -(-len(ordered) * p // 100))   # ceil without math
+        return ordered[min(int(rank), len(ordered)) - 1]
+
+    def snapshot(self) -> dict:
+        if not self.values:
+            return {"count": 0, "sum": 0.0, "min": None, "max": None,
+                    "p50": None, "p95": None, "p99": None}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": min(self.values),
+            "max": max(self.values),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram n={self.count}>"
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    def __init__(self):
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram()
+        return instrument
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A JSON-serializable dump of every instrument."""
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self.counters.items())},
+            "gauges": {name: g.value
+                       for name, g in sorted(self.gauges.items())},
+            "histograms": {name: h.snapshot()
+                           for name, h in
+                           sorted(self.histograms.items())},
+        }
+
+    def to_pretty(self) -> str:
+        """Aligned text rendering (what ``--timing`` prints under the
+        span tree)."""
+        lines: list[str] = []
+        for name, counter in sorted(self.counters.items()):
+            lines.append(f"{name:<40} {counter.value}")
+        for name, gauge in sorted(self.gauges.items()):
+            value = gauge.value
+            shown = f"{value:.6f}" if isinstance(value, float) else value
+            lines.append(f"{name:<40} {shown}")
+        for name, histogram in sorted(self.histograms.items()):
+            snap = histogram.snapshot()
+            if snap["count"] == 0:
+                lines.append(f"{name:<40} (empty)")
+                continue
+            lines.append(
+                f"{name:<40} n={snap['count']} sum={snap['sum']:.6f} "
+                f"p50={snap['p50']:.6f} p95={snap['p95']:.6f} "
+                f"p99={snap['p99']:.6f}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<MetricsRegistry counters={len(self.counters)} "
+                f"gauges={len(self.gauges)} "
+                f"histograms={len(self.histograms)}>")

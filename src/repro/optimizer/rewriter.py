@@ -75,7 +75,8 @@ class RewriteResult:
 
 def unnest_plan(plan: Operator, store: DocumentStore,
                 ranking: str = "heuristic",
-                access_paths: bool | None = None) -> list[RewriteResult]:
+                access_paths: bool | None = None,
+                tracer=None) -> list[RewriteResult]:
     """All plan alternatives for ``plan``, best first.
 
     ``ranking="heuristic"`` (default) orders by the paper's measured
@@ -102,52 +103,75 @@ def unnest_plan(plan: Operator, store: DocumentStore,
     become ``Sort[elided: …]`` no-ops (``applied`` gains
     ``"elide-sort"``), and the cost estimates below price them without
     the n·log n term.
+
+    ``tracer`` (a :class:`~repro.obs.trace.Tracer`) records one span
+    per optimizer pass — rewrite/unnesting, access paths, sort elision,
+    cost ranking — each annotated with how many plan alternatives it
+    produced or changed, so regressions in a single pass show up in a
+    query's trace rather than only in end-to-end timings.
     """
     if ranking not in ("heuristic", "cost", "cost-first-tuple"):
         raise RewriteError(f"unknown ranking {ranking!r}; use "
                            "'heuristic', 'cost' or 'cost-first-tuple'")
-    variants = _alternatives(plan, frozenset(), store)
-    results: list[RewriteResult] = []
-    for label, rewritten, applied in variants:
-        fused = eq.fuse_group_construct(rewritten)
-        if fused is not None:
-            results.append(RewriteResult("group-xi", fused,
-                                         applied + ("fuse-xi",)))
-        results.append(RewriteResult(label, rewritten, applied))
+    from repro.obs.trace import maybe_span
+    with maybe_span(tracer, "rewrite/unnest", "optimize") as span:
+        variants = _alternatives(plan, frozenset(), store)
+        results: list[RewriteResult] = []
+        for label, rewritten, applied in variants:
+            fused = eq.fuse_group_construct(rewritten)
+            if fused is not None:
+                results.append(RewriteResult("group-xi", fused,
+                                             applied + ("fuse-xi",)))
+            results.append(RewriteResult(label, rewritten, applied))
+        if span is not None:
+            span.args = {"alternatives": len(results),
+                         "labels": [r.label for r in results]}
     if access_paths is None:
         access_paths = store.indexes.enabled
     model = None   # one CostModel (and its tag statistics) for both uses
     if access_paths:
         from repro.optimizer.access_paths import apply_access_paths
         from repro.optimizer.cost import CostModel
-        model = CostModel(store)
-        indexed: list[RewriteResult] = []
-        for result in results:
-            rewritten = apply_access_paths(result.plan, store, model)
-            if rewritten is not None:
-                indexed.append(RewriteResult(
-                    result.label + "+index", rewritten,
-                    result.applied + ("access-paths",)))
-        results = indexed + results
+        with maybe_span(tracer, "access-paths", "optimize") as span:
+            model = CostModel(store)
+            indexed: list[RewriteResult] = []
+            for result in results:
+                rewritten = apply_access_paths(result.plan, store, model)
+                if rewritten is not None:
+                    indexed.append(RewriteResult(
+                        result.label + "+index", rewritten,
+                        result.applied + ("access-paths",)))
+            results = indexed + results
+            if span is not None:
+                span.args = {"indexed_variants": len(indexed),
+                             "alternatives": len(results)}
     from repro.optimizer import properties
     if properties.elision_enabled():
         from repro.optimizer.elide_order import elide_sorts
-        for result in results:
-            elided = elide_sorts(result.plan, store)
-            if elided is not result.plan:
-                result.plan = elided
-                result.applied = result.applied + ("elide-sort",)
+        with maybe_span(tracer, "sort-elision", "optimize") as span:
+            elided_plans = 0
+            for result in results:
+                elided = elide_sorts(result.plan, store)
+                if elided is not result.plan:
+                    result.plan = elided
+                    result.applied = result.applied + ("elide-sort",)
+                    elided_plans += 1
+            if span is not None:
+                span.args = {"plans_with_elisions": elided_plans,
+                             "alternatives": len(results)}
     if ranking in ("cost", "cost-first-tuple"):
-        if model is None:
-            from repro.optimizer.cost import CostModel
-            model = CostModel(store)
-        for result in results:
-            result.cost = model.estimate(result.plan)
-        if ranking == "cost":
-            results.sort(key=lambda r: (r.cost.total, r.rank))
-        else:
-            results.sort(key=lambda r: (r.cost.first_tuple,
-                                        r.cost.total, r.rank))
+        with maybe_span(tracer, "cost-ranking", "optimize",
+                        ranking=ranking):
+            if model is None:
+                from repro.optimizer.cost import CostModel
+                model = CostModel(store)
+            for result in results:
+                result.cost = model.estimate(result.plan)
+            if ranking == "cost":
+                results.sort(key=lambda r: (r.cost.total, r.rank))
+            else:
+                results.sort(key=lambda r: (r.cost.first_tuple,
+                                            r.cost.total, r.rank))
     else:
         results.sort(key=lambda r: r.rank)
     return results

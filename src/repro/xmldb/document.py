@@ -81,6 +81,11 @@ class ScanStats:
         self.document_scans: dict[str, int] = {}
         self.index_probes: dict[str, int] = {}
         self.node_visits: int = 0
+        #: path evaluations that skipped the dedup-sort pass because the
+        #: arena/order analysis proved the stream born ordered
+        self.order_fastpath_hits: int = 0
+        #: path evaluations that paid the full document-order dedup
+        self.order_dedup_passes: int = 0
 
     def record_scan(self, document_name: str) -> None:
         self.document_scans[document_name] = \
@@ -92,6 +97,12 @@ class ScanStats:
 
     def record_visits(self, count: int) -> None:
         self.node_visits += count
+
+    def record_order_fastpath(self, hit: bool) -> None:
+        if hit:
+            self.order_fastpath_hits += 1
+        else:
+            self.order_dedup_passes += 1
 
     @property
     def total_scans(self) -> int:
@@ -105,6 +116,22 @@ class ScanStats:
         self.document_scans.clear()
         self.index_probes.clear()
         self.node_visits = 0
+        self.order_fastpath_hits = 0
+        self.order_dedup_passes = 0
+
+    def absorb(self, other: "ScanStats") -> None:
+        """Add another collection's counters into this one — how the
+        store's shared instance accumulates a process-wide tally from
+        the request-scoped statistics each ``execute()`` collects."""
+        for name, count in other.document_scans.items():
+            self.document_scans[name] = \
+                self.document_scans.get(name, 0) + count
+        for name, count in other.index_probes.items():
+            self.index_probes[name] = \
+                self.index_probes.get(name, 0) + count
+        self.node_visits += other.node_visits
+        self.order_fastpath_hits += other.order_fastpath_hits
+        self.order_dedup_passes += other.order_dedup_passes
 
     def snapshot(self) -> dict:
         return {
@@ -113,6 +140,8 @@ class ScanStats:
             "index_probes": dict(self.index_probes),
             "total_probes": self.total_probes,
             "node_visits": self.node_visits,
+            "order_fastpath_hits": self.order_fastpath_hits,
+            "order_dedup_passes": self.order_dedup_passes,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -77,8 +77,19 @@ def evaluate_path(context: Node | list[Node], path: Path,
                     f"order fast path skipped a dedup pass that was "
                     f"not redundant for path {path} — the step order "
                     "analysis is wrong")
+        _record_order_fastpath(stats, True)
         return NodeSequence(nodes)
+    _record_order_fastpath(stats, False)
     return _document_order_dedup(nodes)
+
+
+def _record_order_fastpath(stats, hit: bool) -> None:
+    # ``stats`` may be any duck with record_scan/record_visits (see the
+    # evaluate_path docstring); only full ScanStats count fast paths.
+    if stats is not None:
+        record = getattr(stats, "record_order_fastpath", None)
+        if record is not None:
+            record(hit)
 
 
 _ORDER_RULES = None

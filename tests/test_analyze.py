@@ -44,9 +44,14 @@ def test_analyze_off_by_default(db):
 
 
 def test_analyze_requires_physical_mode(db):
+    from repro.errors import ReproError, UnsupportedModeError
     query = compile_query(NESTED_QUERY, db)
-    with pytest.raises(ValueError, match="physical"):
+    with pytest.raises(UnsupportedModeError, match="physical"):
         db.execute(query.plan, mode="reference", analyze=True)
+    # The error stays catchable both as the library's base error and as
+    # the ValueError older callers matched on.
+    assert issubclass(UnsupportedModeError, ReproError)
+    assert issubclass(UnsupportedModeError, ValueError)
 
 
 def test_analyze_string_annotates_operators(db):
