@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-update bench-check
+.PHONY: test bench bench-update bench-check docs-check
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -26,5 +26,12 @@ bench-check:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_q8_pipeline.py 20 1000 /tmp/bench-q8.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_q9_storage.py 2000 10000 /tmp/bench-q9.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_q10_order.py 600 3000 /tmp/bench-q10.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_q11_vectorized.py 4000 20000 /tmp/bench-q11.json
 	PYTHONPATH=src $(PYTHON) benchmarks/trajectory.py check \
-		/tmp/bench-q7.json /tmp/bench-q8.json /tmp/bench-q9.json /tmp/bench-q10.json
+		/tmp/bench-q7.json /tmp/bench-q8.json /tmp/bench-q9.json /tmp/bench-q10.json \
+		/tmp/bench-q11.json
+
+# Fail when a module under src/repro/ lacks a module docstring or a
+# docs/*.md intra-repo link points at a missing file/anchor.
+docs-check:
+	$(PYTHON) tools/docs_check.py

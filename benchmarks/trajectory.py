@@ -44,6 +44,7 @@ CI_RUNS = (
     ("bench_q8_pipeline.py", ("20", "1000")),
     ("bench_q9_storage.py", ("2000", "10000")),
     ("bench_q10_order.py", ("600", "3000")),
+    ("bench_q11_vectorized.py", ("4000", "20000")),
 )
 
 

@@ -12,11 +12,11 @@ Three final sections show the other engine axes this repository adds:
   without indexes (every leaf is a document scan) and against one with
   ``index_mode="eager"``, where the cost model swaps the scan for an
   ``IdxScan`` value-index probe — zero document scans at execution time;
-- pipelined execution — the same exists-query run under
-  ``mode="physical"`` (every operator materializes) and
-  ``mode="pipelined"`` (operators yield on demand and quantifier
-  subscripts stop at the first witness), with the scan statistics and
-  per-operator EXPLAIN ANALYZE row counts side by side;
+- execution modes — the same exists-query run under ``mode="physical"``
+  and ``mode="pipelined"``, with the scan statistics and per-operator
+  EXPLAIN ANALYZE row counts side by side (the full mode decision
+  table, including ``vectorized`` and ``auto``, lives in
+  ``docs/execution-modes.md``);
 - arena storage — registered documents are finalized into an
   interval-encoded arena (pre/post/level columns, interned tag names),
   so a ``//tag`` step is a binary search over a contiguous row range;

@@ -25,8 +25,10 @@ additionally writes Chrome ``trace_event`` JSON loadable in
 
     python -m repro trace query.xq --docs ./data --out trace.json
 
-``--timing`` on the main form does the same inline: the query output
-goes to stdout, the span tree and per-operator metrics to stderr.
+``--timing`` on the main form does the same inline, with a pinned
+stream split: the query output goes to **stdout** (so it stays
+pipeable), the ``== TRACE ==`` span tree and ``== METRICS ==`` tables
+go to **stderr** — ``tests/test_cli.py`` asserts this contract.
 """
 
 from __future__ import annotations
@@ -78,12 +80,17 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="print the plan annotated with per-operator "
                              "invocation and row counts (EXPLAIN ANALYZE)")
     parser.add_argument("--mode",
-                        choices=("physical", "pipelined", "reference"),
-                        default="physical", help="execution engine")
+                        choices=("physical", "pipelined", "vectorized",
+                                 "reference", "auto"),
+                        default="physical",
+                        help="execution engine ('auto' picks pipelined "
+                             "or vectorized via the cost model; see "
+                             "docs/execution-modes.md)")
     parser.add_argument("--timing", action="store_true",
                         help="trace the query lifecycle and print the "
                              "span tree plus per-operator metrics to "
-                             "stderr (physical/pipelined mode)")
+                             "stderr; the query output stays on stdout "
+                             "(any mode but reference)")
     return parser
 
 
@@ -188,7 +195,8 @@ def build_trace_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--ranking",
                         choices=("heuristic", "cost", "cost-first-tuple"),
                         default="heuristic", help="plan ranking strategy")
-    parser.add_argument("--mode", choices=("physical", "pipelined"),
+    parser.add_argument("--mode",
+                        choices=("physical", "pipelined", "vectorized"),
                         default="physical", help="execution engine")
     parser.add_argument("--out", metavar="PATH",
                         help="also write Chrome trace_event JSON to PATH "

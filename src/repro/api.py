@@ -79,10 +79,13 @@ class Database:
 
         ``mode`` is ``"physical"`` (materializing hash engine),
         ``"pipelined"`` (generator-based engine with short-circuit
-        quantifiers) or ``"reference"`` (definitional semantics).
-        ``analyze=True`` records per-operator invocation/row counts
-        keyed by tree position (EXPLAIN ANALYZE; physical or pipelined
-        mode).  ``tracer``/``metrics`` attach a
+        quantifiers), ``"vectorized"`` (batch-at-a-time engine over
+        arena columns), ``"auto"`` (pipelined or vectorized, picked by
+        the cost model's per-batch/per-tuple split) or ``"reference"``
+        (definitional semantics) — see ``docs/execution-modes.md`` for
+        the decision table.  ``analyze=True`` records per-operator
+        invocation/row counts keyed by tree position (EXPLAIN ANALYZE;
+        any mode but reference).  ``tracer``/``metrics`` attach a
         :class:`~repro.obs.trace.Tracer` and a request-scoped
         :class:`~repro.obs.metrics.MetricsRegistry` (see
         :mod:`repro.obs`)."""

@@ -1,0 +1,366 @@
+"""Column batches and selection vectors for the vectorized engine.
+
+A :class:`Batch` is the unit of data flow in :mod:`repro.engine.vectorized`:
+one relation fragment held either as parallel *columns* (attribute →
+value list, MonetDB/X100 style) or as already-materialized :class:`Tup`
+rows.  The dual representation keeps the two worlds cheap to mix — the
+columnar fast paths (arena scans, vectorized selections) build column
+batches without ever creating a ``Tup``, while operators that fall back
+to the row-at-a-time algorithms wrap their row lists at zero cost and
+only pay for column extraction if a downstream fast path asks for it.
+
+Invariants (relied on throughout the vectorized engine):
+
+- **Batches are immutable.**  Once constructed, a batch's columns and
+  rows are never mutated; every operator derives *new* batches
+  (:meth:`Batch.take`, :meth:`Batch.with_column`, ...).  Operators may
+  therefore return a child batch unchanged (e.g. an elided sort) and
+  alias columns between batches without copying.
+- **Selection vectors are owned by their creator.**  A selection vector
+  (an ``array('q')`` of row indices) is created, filled and consumed by
+  exactly one operator invocation; it is never stored in a batch or
+  shared across operators.  Scratch buffers for building them live in
+  the request-scoped :class:`BatchBuffers` pool on the
+  :class:`~repro.engine.context.EvalContext`, so concurrent executions
+  never contend for them.
+- **numpy is optional.**  The numeric comparison kernel uses numpy when
+  it is importable *and* enabled (:func:`use_numpy`,
+  :func:`numpy_enabled`); the pure-python loop is always available and
+  produces identical results.  Nothing outside this module imports
+  numpy.
+"""
+
+from __future__ import annotations
+
+from array import array
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.nal.values import Tup, general_compare, iter_items
+from repro.xmldb.node import Node, NodeSequence
+
+try:  # pragma: no cover - exercised via both branches in CI matrices
+    import numpy as _numpy
+except ImportError:  # pragma: no cover
+    _numpy = None
+
+#: module switch: numpy kernels are used only when available *and* enabled
+_NUMPY_ENABLED = True
+
+#: ints beyond 2**53 lose exactness as float64 — those columns take the
+#: pure-python comparison loop, which keeps exact int arithmetic
+_EXACT_INT_LIMIT = 2 ** 53
+
+
+def numpy_available() -> bool:
+    """True when the optional numpy dependency is importable."""
+    return _numpy is not None
+
+
+def numpy_enabled() -> bool:
+    """True when numeric kernels will actually use numpy."""
+    return _NUMPY_ENABLED and _numpy is not None
+
+
+@contextmanager
+def use_numpy(enabled: bool) -> Iterator[None]:
+    """Force the numpy fast path on or off for the dynamic extent.
+
+    ``use_numpy(False)`` is how the differential tests and the benchmark
+    exercise the pure-python fallback even when numpy is installed.
+    """
+    global _NUMPY_ENABLED
+    previous = _NUMPY_ENABLED
+    _NUMPY_ENABLED = enabled
+    try:
+        yield
+    finally:
+        _NUMPY_ENABLED = previous
+
+
+def selection_vector(indices: Iterator[int] | list[int]) -> array:
+    """A selection vector: row indices into a batch, as a flat array."""
+    return array("q", indices)
+
+
+class BroadcastColumn(list):
+    """A column whose rows are all the same value (a broadcast constant).
+
+    Kernels may convert the value once instead of per row; as a plain
+    ``list`` subclass it degrades gracefully everywhere else.
+    """
+
+    __slots__ = ()
+
+
+class Batch:
+    """An immutable fragment of a relation: columns and/or rows.
+
+    Exactly one of ``_columns`` / ``_rows`` is populated at construction;
+    the other representation is materialized lazily on first use and
+    cached (caching a derived representation does not violate batch
+    immutability — the relation it denotes never changes).
+    """
+
+    __slots__ = ("_columns", "_order", "_rows", "_length")
+
+    def __init__(self, columns: dict[str, list] | None,
+                 order: tuple[str, ...] | None,
+                 rows: list[Tup] | None, length: int) -> None:
+        self._columns = columns
+        self._order = order
+        self._rows = rows
+        self._length = length
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def from_rows(cls, rows: list[Tup]) -> "Batch":
+        """Wrap materialized rows (zero cost; columns extracted lazily)."""
+        return cls(None, None, rows, len(rows))
+
+    @classmethod
+    def from_columns(cls, columns: dict[str, list],
+                     length: int) -> "Batch":
+        """Wrap parallel columns.  All lists must have ``length`` items."""
+        assert all(len(col) == length for col in columns.values())
+        return cls(columns, tuple(columns), None, length)
+
+    # -- accessors ------------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def is_columnar(self) -> bool:
+        return self._columns is not None
+
+    @property
+    def attrs(self) -> tuple[str, ...]:
+        if self._order is not None:
+            return self._order
+        if self._rows:
+            return self._rows[0].attrs()
+        return ()
+
+    def column(self, attr: str) -> list:
+        """The values of ``attr``, one per row, in batch order."""
+        if self._columns is not None:
+            return self._columns[attr]
+        return [row[attr] for row in self._rows]
+
+    def to_rows(self) -> list[Tup]:
+        """Materialize (and cache) the batch as ``Tup`` rows."""
+        if self._rows is None:
+            order = self._order or ()
+            cols = [self._columns[a] for a in order]
+            self._rows = [Tup(dict(zip(order, values)))
+                          for values in zip(*cols)] if cols else \
+                [Tup({})] * self._length
+        return self._rows
+
+    # -- derivations (always produce a new batch) -----------------------
+    def take(self, selection: array | list[int]) -> "Batch":
+        """The rows named by ``selection``, in selection order."""
+        if self._columns is not None:
+            columns = {a: [col[i] for i in selection]
+                       for a, col in self._columns.items()}
+            return Batch(columns, self._order, None, len(selection))
+        rows = self._rows
+        return Batch.from_rows([rows[i] for i in selection])
+
+    def with_column(self, attr: str, values: list) -> "Batch":
+        """This batch extended by one column (columnar result)."""
+        assert len(values) == self._length
+        columns = dict(self._materialized_columns())
+        columns[attr] = values
+        order = tuple(a for a in self.attrs if a != attr) + (attr,)
+        return Batch(columns, order, None, self._length)
+
+    def replicate(self, indices: list[int], attr: str,
+                  values: list) -> "Batch":
+        """Rows ``indices`` of this batch (with repetition), each
+        extended by ``attr`` from the parallel ``values`` list — the
+        shape of an unnest: one output row per (input row, item)."""
+        assert len(indices) == len(values)
+        columns = {a: [col[i] for i in indices]
+                   for a, col in self._materialized_columns().items()}
+        columns[attr] = values
+        order = tuple(a for a in self.attrs if a != attr) + (attr,)
+        return Batch(columns, order, None, len(values))
+
+    def project(self, attributes: tuple[str, ...]) -> "Batch":
+        columns = {a: self.column(a) for a in attributes}
+        return Batch(columns, tuple(attributes), None, self._length)
+
+    def project_away(self, attributes: tuple[str, ...]) -> "Batch":
+        keep = tuple(a for a in self.attrs if a not in attributes)
+        return self.project(keep)
+
+    def rename(self, mapping: dict[str, str]) -> "Batch":
+        columns = {mapping.get(a, a): self.column(a) for a in self.attrs}
+        order = tuple(mapping.get(a, a) for a in self.attrs)
+        return Batch(columns, order, None, self._length)
+
+    def _materialized_columns(self) -> dict[str, list]:
+        if self._columns is None:
+            self._columns = {a: [row[a] for row in self._rows]
+                             for a in self.attrs}
+            self._order = tuple(self._columns)
+        return self._columns
+
+
+class BatchBuffers:
+    """Request-scoped pool of scratch index buffers.
+
+    Owned by one :class:`~repro.engine.context.EvalContext` (one
+    execution), never shared between requests: an operator acquires a
+    buffer, fills it with selected row indices, copies the result into
+    the new batch and releases the buffer for the next operator of the
+    *same* request.  This bounds allocation churn without any locking.
+    """
+
+    __slots__ = ("_free", "acquired", "peak")
+
+    def __init__(self) -> None:
+        self._free: list[list] = []
+        self.acquired = 0
+        self.peak = 0
+
+    def acquire(self) -> list:
+        self.acquired += 1
+        if self._free:
+            return self._free.pop()
+        self.peak += 1
+        return []
+
+    def release(self, buffer: list) -> None:
+        buffer.clear()
+        self._free.append(buffer)
+
+
+# ----------------------------------------------------------------------
+# Comparison kernels
+# ----------------------------------------------------------------------
+def numeric_column(values: list) -> list | None:
+    """``values`` as one number (or None for an empty sequence) per row,
+    or ``None`` when any row is non-numeric / multi-item — the signal to
+    fall back to the general comparison loop.
+
+    Booleans are deliberately *not* numbers here (``compare_atomic``
+    gives them their own comparison rules), and ints beyond float64
+    exactness also bail out.
+    """
+    if type(values) is BroadcastColumn and values:
+        number = _value_number(values[0])
+        if number is _NOT_NUMERIC:
+            return None
+        return [number] * len(values)
+    out: list = []
+    append = out.append
+    for value in values:
+        # Inlined fast paths for the overwhelmingly common single-item
+        # shapes; anything else goes through iter_items.
+        cls = type(value)
+        if cls is int:
+            if -_EXACT_INT_LIMIT <= value <= _EXACT_INT_LIMIT:
+                append(value)
+                continue
+            return None
+        if cls is float:
+            append(value)
+            continue
+        if cls is NodeSequence:
+            if not value:
+                append(None)
+                continue
+            if len(value) != 1:
+                return None
+            number = _item_number(value[0])
+            if number is _NOT_NUMERIC:
+                return None
+            append(number)
+            continue
+        number = _value_number(value)
+        if number is _NOT_NUMERIC:
+            return None
+        append(number)
+    return out
+
+
+def _value_number(value: Any):
+    """One row's value as a number, None for an empty sequence, or the
+    ``_NOT_NUMERIC`` sentinel (non-numeric or multi-item)."""
+    items = iter_items(value)
+    if not items:
+        return None
+    if len(items) != 1:
+        return _NOT_NUMERIC
+    return _item_number(items[0])
+
+
+_NOT_NUMERIC = object()
+
+
+def _item_number(item: Any):
+    if isinstance(item, bool):
+        return _NOT_NUMERIC
+    if isinstance(item, int):
+        return item if -_EXACT_INT_LIMIT <= item <= _EXACT_INT_LIMIT \
+            else _NOT_NUMERIC
+    if isinstance(item, float):
+        return item
+    if isinstance(item, str):
+        text = item
+    elif isinstance(item, Node):
+        text = item.string_value()
+    else:
+        return _NOT_NUMERIC
+    try:
+        return float(text)
+    except ValueError:
+        return _NOT_NUMERIC
+
+
+def compare_columns(left: list, op: str, right: list) -> list[bool]:
+    """Row-wise existential comparison of two raw-value columns.
+
+    Semantically identical to calling
+    :func:`~repro.nal.values.general_compare` per row; numeric columns
+    take a tight loop (numpy when enabled) instead.
+    """
+    left_nums = numeric_column(left)
+    right_nums = None if left_nums is None else numeric_column(right)
+    if left_nums is not None and right_nums is not None:
+        if numpy_enabled():
+            return _numpy_mask(left_nums, op, right_nums)
+        return _python_mask(left_nums, op, right_nums)
+    return [general_compare(l, op, r) for l, r in zip(left, right)]
+
+
+_PY_OPS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _python_mask(left: list, op: str, right: list) -> list[bool]:
+    compare = _PY_OPS[op]
+    return [False if l is None or r is None else compare(l, r)
+            for l, r in zip(left, right)]
+
+
+def _numpy_mask(left: list, op: str, right: list) -> list[bool]:
+    np = _numpy
+    nan = float("nan")
+    l_arr = np.array([nan if v is None else v for v in left],
+                     dtype=np.float64)
+    r_arr = np.array([nan if v is None else v for v in right],
+                     dtype=np.float64)
+    valid = ~(np.array([v is None for v in left])
+              | np.array([v is None for v in right]))
+    with _numpy.errstate(invalid="ignore"):
+        mask = _PY_OPS[op](l_arr, r_arr) & valid
+    return mask.tolist()

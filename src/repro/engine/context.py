@@ -1,7 +1,19 @@
-"""Evaluation context shared by the reference and physical evaluators."""
+"""Evaluation context shared by the reference, physical, pipelined and
+vectorized evaluators.
+
+Invariant: an :class:`EvalContext` is **request-scoped** — one instance
+per ``execute()`` call, never shared between concurrent executions.
+Everything mutable that evaluation touches (scan statistics, the Ξ
+output stream, EXPLAIN ANALYZE counters, the vectorized engine's batch
+scratch buffers) hangs off this object, so two interleaved requests
+against the same immutable :class:`~repro.xmldb.document.DocumentStore`
+cannot observe each other.  The store itself only ever receives a
+cumulative tally *after* a request completes.
+"""
 
 from __future__ import annotations
 
+from repro.engine.batch import BatchBuffers
 from repro.xmldb.document import DocumentStore, ScanStats
 
 
@@ -16,10 +28,14 @@ class EvalContext:
       store's shared instance is only a process-wide cumulative tally
       (and the explicit opt-in target of ``reset_stats=False``).
     - ``tracer`` — a :class:`~repro.obs.trace.Tracer` or ``None``; when
-      set, both engines open one span per operator invocation.
+      set, the engines open one span per operator invocation.
     - ``metrics`` — a :class:`~repro.obs.metrics.MetricsRegistry` or
       ``None``; when set, the engines record per-operator rows/time and
       the executor folds the scan statistics in at the end.
+    - ``batch_buffers`` — the request-scoped scratch-buffer pool the
+      vectorized engine draws selection vectors from (see
+      :class:`~repro.engine.batch.BatchBuffers`); owned by this context,
+      so batch scratch state is never shared across requests.
     - the Ξ output stream, appended to via :meth:`emit`.
     """
 
@@ -30,9 +46,10 @@ class EvalContext:
         self.stats = stats if stats is not None else ScanStats()
         self.tracer = tracer
         self.metrics = metrics
+        self.batch_buffers = BatchBuffers()
         self._output: list[str] = []
-        #: when not None, the physical/pipelined engines record
-        #: per-operator (invocations, output rows) keyed by tree
+        #: when not None, the physical/pipelined/vectorized engines
+        #: record per-operator (invocations, output rows) keyed by tree
         #: position (the pre-order path of child indices from the plan
         #: root) — the data behind EXPLAIN ANALYZE (see
         #: executor.execute(analyze=True))

@@ -8,13 +8,15 @@ import time
 from repro.engine.context import EvalContext
 from repro.engine.physical import ROOT_PATH, run_physical
 from repro.engine.pipeline import run_pipelined
+from repro.engine.vectorized import run_vectorized
 from repro.errors import UnsupportedModeError
 from repro.nal.algebra import Operator
 from repro.nal.values import Tup
 from repro.xmldb.document import DocumentStore, ScanStats
 
-#: execution modes accepted by :func:`execute`
-MODES = ("physical", "pipelined", "reference")
+#: execution modes accepted by :func:`execute` (``"auto"`` resolves to
+#: pipelined or vectorized via the cost model's batch split)
+MODES = ("physical", "pipelined", "vectorized", "reference", "auto")
 
 
 class ExecutionResult:
@@ -66,12 +68,18 @@ def execute(plan: Operator, store: DocumentStore,
     benchmarks measure); ``mode="pipelined"`` uses the generator-based
     engine of :mod:`repro.engine.pipeline` — same algorithms, but
     operators yield tuples on demand and quantifier subscripts stop at
-    the first witness; ``mode="reference"`` uses the definitional
-    semantics (useful for differential testing).  ``analyze=True``
-    (physical or pipelined mode) additionally records per-operator
-    invocation and row counts keyed by tree position — render them with
-    :func:`~repro.engine.executor.analyze_to_string`; under
-    ``mode="reference"`` it raises
+    the first witness; ``mode="vectorized"`` uses the batch-at-a-time
+    engine of :mod:`repro.engine.vectorized` — columns move through
+    operators as flat arrays with selection-vector passes over the
+    arena; ``mode="auto"`` resolves to pipelined or vectorized via the
+    cost model's per-batch/per-tuple split
+    (:func:`repro.optimizer.cost.preferred_mode`); ``mode="reference"``
+    uses the definitional semantics (useful for differential testing).
+    See ``docs/execution-modes.md`` for the full decision table.
+    ``analyze=True`` (any mode but reference) additionally records
+    per-operator invocation and row counts keyed by tree position —
+    render them with :func:`~repro.engine.executor.analyze_to_string`;
+    under ``mode="reference"`` it raises
     :class:`~repro.errors.UnsupportedModeError` (the definitional
     evaluator has no measurement hooks).
 
@@ -92,6 +100,9 @@ def execute(plan: Operator, store: DocumentStore,
     """
     if mode not in MODES:
         raise ValueError(f"unknown execution mode {mode!r}")
+    if mode == "auto":
+        from repro.optimizer.cost import preferred_mode
+        mode = preferred_mode(plan, store)
     if analyze and mode == "reference":
         raise UnsupportedModeError(
             "analyze=True is not supported under mode='reference': the "
@@ -109,6 +120,8 @@ def execute(plan: Operator, store: DocumentStore,
         rows = run_physical(plan, ctx)
     elif mode == "pipelined":
         rows = list(run_pipelined(plan, ctx, path=ROOT_PATH))
+    elif mode == "vectorized":
+        rows = run_vectorized(plan, ctx)
     else:
         rows = plan.evaluate(ctx)
     elapsed = time.perf_counter() - start

@@ -233,10 +233,12 @@ def _rename(plan: Rename, ctx, env: Tup, path) -> list[Tup]:
             for t in _child(plan, 0, ctx, env, path)]
 
 
-def _distinct(plan: DistinctProject, ctx, env: Tup, path) -> list[Tup]:
+def distinct_rows(plan: DistinctProject, rows: list[Tup]) -> list[Tup]:
+    """One-pass ΠD over materialized rows (shared with the vectorized
+    engine)."""
     seen: set = set()
     result: list[Tup] = []
-    for t in _child(plan, 0, ctx, env, path):
+    for t in rows:
         projected = t.project(plan.attributes)
         key = tuple(canonical_key(projected[a]) for a in plan.attributes)
         if key not in seen:
@@ -245,6 +247,10 @@ def _distinct(plan: DistinctProject, ctx, env: Tup, path) -> list[Tup]:
                 projected = projected.rename(plan.renaming)
             result.append(projected)
     return result
+
+
+def _distinct(plan: DistinctProject, ctx, env: Tup, path) -> list[Tup]:
+    return distinct_rows(plan, _child(plan, 0, ctx, env, path))
 
 
 def _map(plan: Map, ctx, env: Tup, path) -> list[Tup]:
@@ -302,9 +308,10 @@ def _cross(plan: Cross, ctx, env: Tup, path) -> list[Tup]:
     return [l.concat(r) for l in left_rows for r in right_rows]
 
 
-def _join(plan: Join, ctx, env: Tup, path) -> list[Tup]:
-    left_rows = _child(plan, 0, ctx, env, path)
-    right_rows = _child(plan, 1, ctx, env, path)
+def join_rows(plan: Join, left_rows: list[Tup], right_rows: list[Tup],
+              env: Tup, ctx) -> list[Tup]:
+    """Order-preserving hash join over materialized rows (shared with
+    the vectorized engine)."""
     pairs, residual = split_equi_conjuncts(
         plan.pred, plan.left.attrs(), plan.right.attrs())
     result = []
@@ -329,17 +336,27 @@ def _join(plan: Join, ctx, env: Tup, path) -> list[Tup]:
     return result
 
 
+def _join(plan: Join, ctx, env: Tup, path) -> list[Tup]:
+    return join_rows(plan, _child(plan, 0, ctx, env, path),
+                     _child(plan, 1, ctx, env, path), env, ctx)
+
+
 def _semi_join(plan: SemiJoin, ctx, env: Tup, path) -> list[Tup]:
-    return _semi_anti(plan, ctx, env, path, keep_matched=True)
+    return semi_anti_rows(plan, _child(plan, 0, ctx, env, path),
+                          _child(plan, 1, ctx, env, path), env, ctx,
+                          keep_matched=True)
 
 
 def _anti_join(plan: AntiJoin, ctx, env: Tup, path) -> list[Tup]:
-    return _semi_anti(plan, ctx, env, path, keep_matched=False)
+    return semi_anti_rows(plan, _child(plan, 0, ctx, env, path),
+                          _child(plan, 1, ctx, env, path), env, ctx,
+                          keep_matched=False)
 
 
-def _semi_anti(plan, ctx, env: Tup, path, keep_matched: bool) -> list[Tup]:
-    left_rows = _child(plan, 0, ctx, env, path)
-    right_rows = _child(plan, 1, ctx, env, path)
+def semi_anti_rows(plan, left_rows: list[Tup], right_rows: list[Tup],
+                   env: Tup, ctx, keep_matched: bool) -> list[Tup]:
+    """Hash semi/anti join over materialized rows (shared with the
+    vectorized engine)."""
     pairs, residual = split_equi_conjuncts(
         plan.pred, plan.left.attrs(), plan.right.attrs())
     result = []
@@ -364,9 +381,10 @@ def _semi_anti(plan, ctx, env: Tup, path, keep_matched: bool) -> list[Tup]:
     return result
 
 
-def _outer_join(plan: OuterJoin, ctx, env: Tup, path) -> list[Tup]:
-    left_rows = _child(plan, 0, ctx, env, path)
-    right_rows = _child(plan, 1, ctx, env, path)
+def outer_join_rows(plan: OuterJoin, left_rows: list[Tup],
+                    right_rows: list[Tup], env: Tup, ctx) -> list[Tup]:
+    """Order-preserving hash outer join over materialized rows (shared
+    with the vectorized engine)."""
     pairs, residual = split_equi_conjuncts(
         plan.pred, plan.left.attrs(), plan.right.attrs())
     pad_attrs = [a for a in plan.right.attrs() if a != plan.group_attr]
@@ -397,6 +415,11 @@ def _outer_join(plan: OuterJoin, ctx, env: Tup, path) -> list[Tup]:
             result.append(l.concat(null_tuple(pad_attrs))
                            .extend(plan.group_attr, default_value))
     return result
+
+
+def _outer_join(plan: OuterJoin, ctx, env: Tup, path) -> list[Tup]:
+    return outer_join_rows(plan, _child(plan, 0, ctx, env, path),
+                           _child(plan, 1, ctx, env, path), env, ctx)
 
 
 # ----------------------------------------------------------------------

@@ -23,6 +23,11 @@ engines:
 - ``elision.sorts_taken`` / ``elision.sorts_forced`` — elided sorts
   that streamed vs. elisions that fell back to a real sort because the
   proof document was rotated out of the store.
+- ``vectorized.<Type>.batches`` / ``vectorized.<Type>.rows_per_batch``
+  — the vectorized engine's unit of work: batches per operator class
+  (counter) and the rows-per-batch distribution (histogram), recorded
+  alongside the ``operator.*`` instruments so a vectorized trace stays
+  honest about moving whole batches rather than tuples.
 """
 
 from __future__ import annotations

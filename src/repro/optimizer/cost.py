@@ -60,6 +60,13 @@ from repro.xpath.ast import NameTest, Path
 DEFAULT_SELECTIVITY = 0.5
 #: fanout assumed for paths over documents without statistics
 DEFAULT_FANOUT = 2.0
+#: fixed setup charge per operator under batch-at-a-time execution
+#: (batch allocation, predicate compilation, column extraction)
+BATCH_SETUP_COST = 16.0
+#: fraction of the per-tuple interpreter work the vectorized engine
+#: still pays (tight columnar loops replace generator hops and Tup
+#: copies for the rest)
+VECTORIZED_TUPLE_DISCOUNT = 0.35
 
 
 class TagStatistics:
@@ -122,19 +129,41 @@ class PlanCost:
     streaming operators pass their child's ``first_tuple`` through plus
     their per-tuple work.  ``first_tuple`` defaults to ``total`` when
     not given.
+
+    The batch split: ``per_tuple`` is the portion of ``total`` that
+    scales with tuples flowing through operators, ``per_batch`` the
+    cardinality-independent setup a batch-at-a-time execution pays once
+    per operator (batch allocation, predicate compilation, column
+    extraction).  :meth:`batched_total` combines them into the estimated
+    cost under ``mode="vectorized"``; :func:`preferred_mode` compares it
+    against ``total`` so vectorized execution is preferred only when the
+    cardinality estimates actually amortize the setup.  Both default
+    conservatively (``per_tuple = total``, ``per_batch = 0``);
+    :meth:`CostModel.estimate` fills them in for the plan root.
     """
 
     cardinality: float
     total: float
     first_tuple: float | None = None
+    per_tuple: float | None = None
+    per_batch: float = 0.0
 
     def __post_init__(self) -> None:
         if self.first_tuple is None:
             self.first_tuple = self.total
+        if self.per_tuple is None:
+            self.per_tuple = self.total
+
+    def batched_total(self) -> float:
+        """Estimated cost under batch-at-a-time execution: every
+        operator pays its setup once, while the tuple-scaled work drops
+        to the vectorized loop's share."""
+        return self.per_batch + self.per_tuple * VECTORIZED_TUPLE_DISCOUNT
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<PlanCost card≈{self.cardinality:.0f} " \
-               f"cost≈{self.total:.0f} first≈{self.first_tuple:.0f}>"
+               f"cost≈{self.total:.0f} first≈{self.first_tuple:.0f} " \
+               f"batched≈{self.batched_total():.0f}>"
 
 
 class CostModel:
@@ -154,7 +183,13 @@ class CostModel:
         """Cost of evaluating ``plan`` once (outer invocation)."""
         self._doc_bindings = {}
         _collect_doc_bindings(plan, self._doc_bindings)
-        return self._plan(plan)
+        cost = self._plan(plan)
+        # First-order batch split for the root: all tuple-scaled work is
+        # eligible for vectorization, and each operator pays one fixed
+        # setup charge per batch it produces.
+        cost.per_tuple = cost.total
+        cost.per_batch = BATCH_SETUP_COST * sum(1 for _ in plan.walk())
+        return cost
 
     def _plan(self, op: Operator) -> PlanCost:
         if isinstance(op, Singleton):
@@ -391,3 +426,15 @@ def _collect_from_scalar(expr: ScalarExpr, out: dict[str, str]) -> None:
 def estimate(plan: Operator, store: DocumentStore) -> PlanCost:
     """Convenience wrapper: one-shot cost estimate."""
     return CostModel(store).estimate(plan)
+
+
+def preferred_mode(plan: Operator, store: DocumentStore) -> str:
+    """The execution mode the batch split recommends for ``plan``:
+    ``"vectorized"`` when the estimated batched total undercuts the
+    tuple-at-a-time total (enough tuples flow to amortize the
+    per-operator batch setup), ``"pipelined"`` otherwise — small plans
+    stay tuple-at-a-time, scans stay columnar.  This is what
+    ``execute(mode="auto")`` dispatches on."""
+    cost = estimate(plan, store)
+    return "vectorized" if cost.batched_total() < cost.total \
+        else "pipelined"

@@ -15,6 +15,23 @@ ranked:
 which mirrors the measured ordering of the paper's §5 tables.  The
 original (nested) plan is always included, so benchmarks can compare all
 variants.
+
+Invariants the engines and optimizer passes rely on:
+
+- **Plans are immutable.**  The rewriter never mutates the translated
+  tree; every alternative is a freshly built tree (shared subtrees are
+  reused by reference, which is safe for the same reason).  Engines may
+  therefore cache per-plan state keyed by operator identity, and one
+  plan can be executed concurrently by several requests.
+- **Alternatives are semantically equal.**  Every emitted plan computes
+  the same row sequence and Ξ output as the nested original — the
+  property the four execution engines differentially test, and what
+  lets ``execute(mode=...)`` pick any engine for any alternative.
+- **Attribute names are stable.**  Rewrites preserve the attribute
+  names the normalizer introduced (``w1``, ``g1``, …); downstream
+  passes (order-property inference, the vectorized engine's fused
+  select-over-map) pattern-match on plan shape without consulting the
+  rewrite history.
 """
 
 from __future__ import annotations

@@ -125,6 +125,44 @@ def test_reference_mode(data_dir, query_file, capsys):
     assert "<author>" in capsys.readouterr().out
 
 
+def test_vectorized_mode(data_dir, query_file, capsys):
+    code = main([str(query_file), "--docs", str(data_dir),
+                 "--mode", "vectorized"])
+    assert code == 0
+    assert "<author>" in capsys.readouterr().out
+
+
+def test_auto_mode(data_dir, query_file, capsys):
+    code = main([str(query_file), "--docs", str(data_dir),
+                 "--mode", "auto"])
+    assert code == 0
+    assert "<author>" in capsys.readouterr().out
+
+
+def test_timing_flag_stream_split(data_dir, query_file, capsys):
+    """The --timing contract: query output on stdout (pipeable),
+    trace and metrics on stderr — never interleaved into the result."""
+    code = main([str(query_file), "--docs", str(data_dir), "--timing"])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "<author>" in captured.out
+    assert "== TRACE ==" not in captured.out
+    assert "== METRICS ==" not in captured.out
+    assert "== TRACE ==" in captured.err
+    assert "== METRICS ==" in captured.err
+    assert "<author>" not in captured.err
+
+
+def test_timing_flag_vectorized_mode(data_dir, query_file, capsys):
+    """--timing records vectorized batch counters on stderr."""
+    code = main([str(query_file), "--docs", str(data_dir), "--timing",
+                 "--mode", "vectorized"])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "<author>" in captured.out
+    assert "vectorized." in captured.err
+
+
 def test_unknown_plan_label_fails_cleanly(data_dir, query_file, capsys):
     code = main([str(query_file), "--docs", str(data_dir),
                  "--plan", "hashjoin"])

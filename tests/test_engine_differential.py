@@ -1,10 +1,11 @@
-"""Differential testing of the physical and pipelined engines.
+"""Differential testing of the physical, pipelined and vectorized engines.
 
 Generates random operator trees (over random base tables) and checks
 that the hash-based physical engine, the generator-based pipelined
-engine and the reference ``iterate`` stream all produce exactly the
-sequence the definitional (reference) semantics produces — order
-included.  This generalizes the per-operator tests: operator
+engine, the batch-at-a-time vectorized engine (both with its numpy fast
+path available and with it forced off) and the reference ``iterate``
+stream all produce exactly the sequence the definitional (reference)
+semantics produces — order included.  This generalizes the per-operator tests: operator
 *compositions* are where order-preservation bugs hide (e.g. a hash join
 that emits probe matches in build order).
 
@@ -21,9 +22,11 @@ from __future__ import annotations
 
 from hypothesis import given, settings, strategies as st
 
+from repro.engine.batch import use_numpy
 from repro.engine.context import EvalContext
 from repro.engine.physical import run_physical
 from repro.engine.pipeline import run_pipelined
+from repro.engine.vectorized import run_vectorized
 from repro.nal import (
     NULL,
     AggSpec,
@@ -68,9 +71,14 @@ def run_both(plan):
     physical = run_physical(plan, ctx)
     pipelined = list(run_pipelined(plan, ctx))
     streamed = list(plan.iterate(ctx))
+    vectorized = run_vectorized(plan, ctx)
+    with use_numpy(False):
+        vectorized_pure = run_vectorized(plan, ctx)
     assert physical == reference
     assert pipelined == reference
     assert streamed == reference
+    assert vectorized == reference
+    assert vectorized_pure == reference
     return reference, physical
 
 
@@ -182,6 +190,18 @@ def test_equality_operators_over_mixed_keys(left, right, kind):
                            AggSpec("count"))
     else:
         plan = DistinctProject(Join(left, right, JOIN_PRED), ["A", "D"])
+    run_both(plan)
+
+
+@settings(max_examples=150, deadline=None)
+@given(table=mixed_tables(), desc=st.booleans(), stack=st.booleans())
+def test_sort_over_mixed_keys(table, desc, stack):
+    """Mixed-type sort keys (ints, booleans, strings, NULL in one
+    column) must order identically in all four engines — ``sort_key``'s
+    documented type ranks, "empty least" and stable ties."""
+    plan = Sort(table, ["A"], [desc])
+    if stack:
+        plan = Sort(plan, ["B"], [not desc])
     run_both(plan)
 
 

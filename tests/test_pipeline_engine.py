@@ -229,7 +229,7 @@ def test_reset_stats_false_accumulates():
 # ----------------------------------------------------------------------
 def test_unknown_mode_rejected():
     with pytest.raises(ValueError, match="unknown execution mode"):
-        execute(SOME_LEFT, DocumentStore(), mode="vectorized")
+        execute(SOME_LEFT, DocumentStore(), mode="volcano2000")
 
 
 def test_reference_mode_rejects_analyze():

@@ -108,7 +108,8 @@ def test_chrome_export_round_trips_and_is_well_formed(bib_db):
 # ----------------------------------------------------------------------
 # Metrics ↔ EXPLAIN ANALYZE reconciliation
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("mode", ("physical", "pipelined"))
+@pytest.mark.parametrize("mode", ("physical", "pipelined",
+                                  "vectorized"))
 def test_metrics_reconcile_with_analyze_counts(bib_db, mode):
     query = compile_query(SIMPLE, bib_db)
     plan = query.best().plan
