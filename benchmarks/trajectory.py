@@ -45,6 +45,7 @@ CI_RUNS = (
     ("bench_q9_storage.py", ("2000", "10000")),
     ("bench_q10_order.py", ("600", "3000")),
     ("bench_q11_vectorized.py", ("4000", "20000")),
+    ("bench_q12_serve.py", ("100", "500")),
 )
 
 

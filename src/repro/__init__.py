@@ -42,6 +42,8 @@ from repro.engine.executor import (
     execute,
 )
 from repro.errors import ReproError
+from repro.optimizer.digest import canonical_plan_text, plan_digest
+from repro.session import PreparedQuery, Session
 from repro.index import IndexManager, IndexProbe
 from repro.nal.pretty import plan_to_dot, plan_to_string
 from repro.optimizer.access_paths import apply_access_paths
@@ -55,6 +57,10 @@ __all__ = [
     "Database",
     "CompiledQuery",
     "compile_query",
+    "Session",
+    "PreparedQuery",
+    "plan_digest",
+    "canonical_plan_text",
     "ExecutionResult",
     "execute",
     "analyze_to_string",

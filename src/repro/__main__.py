@@ -29,16 +29,75 @@ additionally writes Chrome ``trace_event`` JSON loadable in
 stream split: the query output goes to **stdout** (so it stays
 pipeable), the ``== TRACE ==`` span tree and ``== METRICS ==`` tables
 go to **stderr** — ``tests/test_cli.py`` asserts this contract.
+
+The ``serve`` subcommand (see :mod:`repro.server.cli`) starts the HTTP
+query server; ``--server URL`` on the main form sends the query to a
+running server instead of executing locally.
+
+Exit codes are part of the contract (asserted in ``tests/test_cli.py``
+and mirrored by the server's HTTP statuses):
+
+====  =====================================================
+code  meaning
+====  =====================================================
+0     success
+1     any other error
+2     bad query (parse/translate/rewrite/evaluation error,
+      unknown plan label, unknown mode) — HTTP 400
+3     bad document (unknown/duplicate/unparsable) — HTTP 404
+4     server saturated (admission queue full) — HTTP 503
+====  =====================================================
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
+import urllib.error
+import urllib.request
 
 from repro.api import Database, compile_query
-from repro.errors import ReproError
+from repro.errors import (
+    DTDParseError,
+    DuplicateDocumentError,
+    EvaluationError,
+    FrozenDocumentError,
+    ReproError,
+    RewriteError,
+    ServerSaturatedError,
+    TranslationError,
+    UnknownDocumentError,
+    XMLParseError,
+    XPathError,
+    XQueryParseError,
+)
+
+EXIT_GENERIC = 1
+EXIT_BAD_QUERY = 2
+EXIT_BAD_DOCUMENT = 3
+EXIT_SERVER_SATURATED = 4
+
+#: HTTP status → exit code, the client-mode half of the contract
+_STATUS_EXIT_CODES = {400: EXIT_BAD_QUERY, 404: EXIT_BAD_DOCUMENT,
+                      503: EXIT_SERVER_SATURATED}
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """The CLI exit code for an error — bad-document checked first
+    because :class:`~repro.errors.UnknownDocumentError` subclasses
+    :class:`~repro.errors.EvaluationError` (a bad-query error)."""
+    if isinstance(exc, (UnknownDocumentError, DuplicateDocumentError,
+                        FrozenDocumentError, XMLParseError,
+                        DTDParseError)):
+        return EXIT_BAD_DOCUMENT
+    if isinstance(exc, (XQueryParseError, XPathError, TranslationError,
+                        RewriteError, EvaluationError, KeyError)):
+        return EXIT_BAD_QUERY
+    if isinstance(exc, ServerSaturatedError):
+        return EXIT_SERVER_SATURATED
+    return EXIT_GENERIC
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -91,6 +150,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "span tree plus per-operator metrics to "
                              "stderr; the query output stays on stdout "
                              "(any mode but reference)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="cooperative per-request deadline (local "
+                             "execution and --server client mode)")
+    parser.add_argument("--server", metavar="URL",
+                        help="send the query to a running 'repro serve' "
+                             "instance (e.g. http://127.0.0.1:8399) "
+                             "instead of executing locally; --doc/--docs "
+                             "are ignored, exit codes stay the same")
     return parser
 
 
@@ -169,7 +237,7 @@ def stats_main(argv: list[str]) -> int:
         return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return exit_code_for(exc)
 
 
 def build_trace_arg_parser() -> argparse.ArgumentParser:
@@ -228,10 +296,50 @@ def trace_main(argv: list[str]) -> int:
         return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return exit_code_for(exc)
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return exit_code_for(exc)
+
+
+def remote_main(args: argparse.Namespace) -> int:
+    """``--server`` client mode: POST the query to a running server and
+    translate its HTTP status back into the local exit-code contract
+    (400 → 2, 404 → 3, 503 → 4)."""
+    text = load_query_text(args)
+    request = {"query": text, "mode": args.mode}
+    if args.plan is not None:
+        request["plan"] = args.plan
+    if args.timeout is not None:
+        request["timeout"] = args.timeout
+    url = args.server.rstrip("/") + "/query"
+    try:
+        http_request = urllib.request.Request(
+            url, data=json.dumps(request).encode("utf-8"),
+            headers={"Content-Type": "application/json"}, method="POST")
+        with urllib.request.urlopen(http_request, timeout=60) as reply:
+            payload = json.loads(reply.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        try:
+            detail = json.loads(exc.read().decode("utf-8"))
+            message = detail.get("error", str(exc))
+        except (ValueError, UnicodeDecodeError):
+            message = str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return _STATUS_EXIT_CODES.get(exc.code, EXIT_GENERIC)
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"error: cannot reach {url}: {exc}", file=sys.stderr)
+        return EXIT_GENERIC
+    print(payload["output"])
+    if args.stats:
+        print(f"# plan: {payload['plan']}  mode: {payload['mode']}"
+              f"{'  (result cache hit)' if payload['cached'] else ''}",
+              file=sys.stderr)
+        print(f"# document scans: "
+              f"{payload['stats'].get('document_scans')}",
+              file=sys.stderr)
+        print(f"# elapsed: {payload['elapsed']:.4f}s", file=sys.stderr)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -240,7 +348,12 @@ def main(argv: list[str] | None = None) -> int:
         return stats_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.server.cli import serve_main
+        return serve_main(argv[1:])
     args = build_arg_parser().parse_args(argv)
+    if args.server:
+        return remote_main(args)
     try:
         text = load_query_text(args)
         db = Database()
@@ -284,7 +397,8 @@ def main(argv: list[str] | None = None) -> int:
             else query.plan_named(args.plan)
         result = db.execute(alt.plan, mode=args.mode,
                             analyze=args.analyze,
-                            tracer=tracer, metrics=metrics)
+                            tracer=tracer, metrics=metrics,
+                            timeout=args.timeout)
         print(result.output)
         if args.timing:
             print("== TRACE ==", file=sys.stderr)
@@ -305,10 +419,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return exit_code_for(exc)
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":

@@ -47,6 +47,18 @@ class Database:
     def index_mode(self) -> str:
         return self.store.indexes.mode
 
+    def session(self, **kwargs) -> "Session":
+        """A long-lived :class:`~repro.session.Session` over this
+        database: plan cache (query shape → optimized alternatives),
+        result cache keyed by ``(plan digest, document versions)``,
+        per-request timeouts — the request-lifecycle layer the query
+        server (:mod:`repro.server`) and repeated-execution callers go
+        through.  Keyword arguments: ``plan_cache_size``,
+        ``result_cache_size``, ``default_mode``, ``default_timeout``,
+        ``ranking``."""
+        from repro.session import Session
+        return Session(self, **kwargs)
+
     # ------------------------------------------------------------------
     def register_text(self, name: str, text: str,
                       dtd_text: str | None = None) -> Document:
@@ -74,7 +86,8 @@ class Database:
     # ------------------------------------------------------------------
     def execute(self, plan: Operator, mode: str = "physical",
                 analyze: bool = False,
-                tracer=None, metrics=None) -> ExecutionResult:
+                tracer=None, metrics=None,
+                timeout: float | None = None) -> ExecutionResult:
         """Run a plan; returns rows, constructed output and scan stats.
 
         ``mode`` is ``"physical"`` (materializing hash engine),
@@ -88,9 +101,11 @@ class Database:
         any mode but reference).  ``tracer``/``metrics`` attach a
         :class:`~repro.obs.trace.Tracer` and a request-scoped
         :class:`~repro.obs.metrics.MetricsRegistry` (see
-        :mod:`repro.obs`)."""
+        :mod:`repro.obs`).  ``timeout`` sets a cooperative per-request
+        deadline in seconds (:class:`~repro.errors.
+        DeadlineExceededError` past it)."""
         return execute(plan, self.store, mode=mode, analyze=analyze,
-                       tracer=tracer, metrics=metrics)
+                       tracer=tracer, metrics=metrics, timeout=timeout)
 
 
 class CompiledQuery:

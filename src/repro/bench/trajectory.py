@@ -53,6 +53,15 @@ GATE_RULES: dict[str, dict[str, str]] = {
     # (numpy-kernel speedup rides along ungated as ``speedup_numpy`` —
     # not every runner has numpy).
     "q11_vectorized": {"speedup": "higher"},
+    # q12 gates the serving path: prepared (plan-cache warm) vs cold
+    # per-request optimization, result-cache hits vs prepared
+    # execution (both same-machine ratios), and the deterministic
+    # plan-cache hit rate of the concurrent serving run (each shape is
+    # warmed serially, so exactly one miss per shape).  p50/p99/QPS
+    # ride along ungated — raw latency never crosses machines.
+    "q12_serve": {"prepared_speedup": "higher",
+                  "result_cache_speedup": "higher",
+                  "plan_cache_hit_rate": "higher"},
 }
 
 #: speedup ratios whose baseline is below this are not gated: a
@@ -130,7 +139,8 @@ def compare_records(query_key: str, base: dict, fresh: dict,
         if metric not in base or metric not in fresh:
             continue
         b, f = float(base[metric]), float(fresh[metric])
-        if metric == "speedup" and b < SPEEDUP_NOISE_FLOOR:
+        if (metric == "speedup" or metric.endswith("_speedup")) \
+                and b < SPEEDUP_NOISE_FLOOR:
             continue
         if direction == "higher":
             regressed = f < b * (1.0 - threshold)

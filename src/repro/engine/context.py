@@ -13,7 +13,10 @@ cumulative tally *after* a request completes.
 
 from __future__ import annotations
 
+import time
+
 from repro.engine.batch import BatchBuffers
+from repro.errors import DeadlineExceededError
 from repro.xmldb.document import DocumentStore, ScanStats
 
 
@@ -36,16 +39,29 @@ class EvalContext:
       vectorized engine draws selection vectors from (see
       :class:`~repro.engine.batch.BatchBuffers`); owned by this context,
       so batch scratch state is never shared across requests.
+    - ``deadline`` — an absolute :func:`time.monotonic` instant (or
+      ``None``) past which the engines abandon the execution with
+      :class:`~repro.errors.DeadlineExceededError`.  Checks are
+      *cooperative*: the physical/vectorized engines test it once per
+      operator invocation, the pipelined engine per pulled tuple —
+      when no deadline is set the cost is one attribute test, matching
+      the tracer/metrics hook discipline.
     - the Ξ output stream, appended to via :meth:`emit`.
     """
 
     def __init__(self, store: DocumentStore,
                  stats: ScanStats | None = None,
-                 tracer=None, metrics=None):
+                 tracer=None, metrics=None,
+                 deadline: float | None = None,
+                 deadline_budget: float | None = None):
         self.store = store
         self.stats = stats if stats is not None else ScanStats()
         self.tracer = tracer
         self.metrics = metrics
+        self.deadline = deadline
+        #: the original per-request budget in seconds (for the error
+        #: message; the absolute ``deadline`` is what gets compared)
+        self.deadline_budget = deadline_budget
         self.batch_buffers = BatchBuffers()
         self._output: list[str] = []
         #: when not None, the physical/pipelined/vectorized engines
@@ -54,6 +70,16 @@ class EvalContext:
         #: root) — the data behind EXPLAIN ANALYZE (see
         #: executor.execute(analyze=True))
         self.analyze_counts: dict[tuple, tuple[int, int]] | None = None
+
+    def check_deadline(self) -> None:
+        """Raise :class:`~repro.errors.DeadlineExceededError` if the
+        request's deadline has passed.  Callers guard with
+        ``if ctx.deadline is not None`` so the common no-deadline path
+        never pays for a clock read."""
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise DeadlineExceededError(
+                self.deadline_budget if self.deadline_budget is not None
+                else 0.0)
 
     def emit(self, text: str) -> None:
         """Append a fragment to the constructed query result."""

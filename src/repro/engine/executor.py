@@ -26,7 +26,7 @@ class ExecutionResult:
                  elapsed: float,
                  operator_counts: dict[tuple, tuple[int, int]]
                  | None = None,
-                 trace=None, metrics=None):
+                 trace=None, metrics=None, cached: bool = False):
         #: the operator tree's result sequence
         self.rows = rows
         #: the XML text the Ξ operators constructed
@@ -49,6 +49,10 @@ class ExecutionResult:
         #: the :class:`~repro.obs.metrics.MetricsRegistry` holding this
         #: request's counters/histograms (None unless one was passed)
         self.metrics = metrics
+        #: True when the rows/output were served from a session's
+        #: result cache (``stats`` then snapshots the populating run,
+        #: with ``result_cache_hit`` set; see :mod:`repro.session`)
+        self.cached = cached
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<ExecutionResult rows={len(self.rows)} "
@@ -61,7 +65,8 @@ def execute(plan: Operator, store: DocumentStore,
             mode: str = "physical",
             reset_stats: bool = True,
             analyze: bool = False,
-            tracer=None, metrics=None) -> ExecutionResult:
+            tracer=None, metrics=None,
+            timeout: float | None = None) -> ExecutionResult:
     """Execute a plan against a document store.
 
     ``mode="physical"`` uses the hash-based engine (the default; what the
@@ -97,6 +102,13 @@ def execute(plan: Operator, store: DocumentStore,
     :class:`~repro.obs.metrics.MetricsRegistry`) collects per-operator
     rows/time and the scan statistics as counters.  Both default to
     off and cost nothing when absent.
+
+    ``timeout`` (seconds) sets a *cooperative* per-request deadline:
+    the engines check it at operator boundaries (per pulled tuple in
+    the pipelined engine) and abandon the execution with
+    :class:`~repro.errors.DeadlineExceededError` once it passes.  The
+    reference evaluator has no hooks, so under ``mode="reference"``
+    only the pre-execution check applies.
     """
     if mode not in MODES:
         raise ValueError(f"unknown execution mode {mode!r}")
@@ -110,7 +122,11 @@ def execute(plan: Operator, store: DocumentStore,
             "hooks, so EXPLAIN ANALYZE would silently return nothing — "
             "use mode='physical' or mode='pipelined'")
     stats = ScanStats() if reset_stats else store.stats
-    ctx = EvalContext(store, stats=stats, tracer=tracer, metrics=metrics)
+    deadline = None if timeout is None else time.monotonic() + timeout
+    ctx = EvalContext(store, stats=stats, tracer=tracer, metrics=metrics,
+                      deadline=deadline, deadline_budget=timeout)
+    if deadline is not None:
+        ctx.check_deadline()
     if analyze:
         ctx.analyze_counts = {}
     span = None if tracer is None \
@@ -129,8 +145,9 @@ def execute(plan: Operator, store: DocumentStore,
         span.finish()
     if stats is not store.stats:
         # Keep the shared counters meaningful as a process-wide total
-        # without ever reading them for a result.
-        store.stats.absorb(stats)
+        # without ever reading them for a result (serialized against
+        # concurrent request completions by the store lock).
+        store.absorb_stats(stats)
     if metrics is not None:
         _scan_stats_to_metrics(stats, metrics)
         metrics.gauge("execution.rows").set(len(rows))

@@ -93,6 +93,8 @@ def run_physical(plan: Operator, ctx, env: Tup = EMPTY_TUPLE,
     if handler is None:
         raise EvaluationError(
             f"no physical implementation for {type(plan).__name__}")
+    if ctx.deadline is not None:
+        ctx.check_deadline()
     if ctx.tracer is None and ctx.metrics is None:
         rows = handler(plan, ctx, env, path)
     else:

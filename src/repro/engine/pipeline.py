@@ -115,7 +115,10 @@ def run_pipelined(plan: Operator, ctx, env: Tup = EMPTY_TUPLE,
     if path is None:
         # Nested subscript plans stay unmeasured (charged to the host
         # operator), under analyze counters, tracing and metrics alike.
+        # Deadline enforcement rides on the measured host operators.
         return gen
+    if ctx.deadline is not None:
+        gen = _deadline_checked(gen, ctx)
     counts = ctx.analyze_counts
     if counts is not None:
         gen = _counted(gen, counts, path)
@@ -149,6 +152,17 @@ def _observed(gen: Iterator[Tup], plan: Operator, ctx,
             metrics.counter(f"operator.{name}.rows_out").inc(rows)
             metrics.histogram(f"operator.{name}.seconds").observe(
                 time.perf_counter() - start)
+
+
+def _deadline_checked(gen: Iterator[Tup], ctx) -> Iterator[Tup]:
+    """Cooperative per-request timeout: check the context deadline
+    before every pulled tuple (the pipelined engine's unit of work), so
+    even a plan stuck inside one long-running operator chain is
+    abandoned at the next tuple boundary."""
+    ctx.check_deadline()
+    for t in gen:
+        yield t
+        ctx.check_deadline()
 
 
 def _counted(gen: Iterator[Tup], counts: dict,

@@ -120,6 +120,8 @@ def _run(plan: Operator, ctx, env: Tup, path) -> Batch:
     if handler is None:
         raise EvaluationError(
             f"no vectorized implementation for {type(plan).__name__}")
+    if ctx.deadline is not None:
+        ctx.check_deadline()
     if ctx.tracer is None and ctx.metrics is None:
         batch = handler(plan, ctx, env, path)
     else:

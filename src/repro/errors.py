@@ -107,6 +107,40 @@ class UnsupportedModeError(ReproError, ValueError):
     caught the old generic error keep working.)"""
 
 
+class DeadlineExceededError(ReproError, TimeoutError):
+    """Raised when an execution runs past its per-request deadline.
+
+    Deadlines are *cooperative*: the engines check the request's
+    :class:`~repro.engine.context.EvalContext` deadline at operator
+    boundaries (and per pulled tuple in the pipelined engine), so an
+    execution is abandoned at the next check after the deadline passes
+    — a best-effort bound, not a preemptive one.  (Also a
+    :class:`TimeoutError` so generic timeout handling catches it.)
+    """
+
+    def __init__(self, budget: float):
+        super().__init__(
+            f"execution exceeded its {budget:.3f}s deadline "
+            f"(cooperative check at an operator boundary)")
+        self.budget = budget
+
+
+class ServerSaturatedError(ReproError):
+    """Raised when the query server's admission controller rejects a
+    request because every worker is busy and the wait queue is full.
+
+    The server maps this to a fast 503 response rather than letting
+    requests pile up unboundedly; the CLI maps it to its own exit code
+    (see ``python -m repro --help``)."""
+
+    def __init__(self, active: int, queued: int):
+        super().__init__(
+            f"server saturated: {active} request(s) executing and "
+            f"{queued} queued — retry later")
+        self.active = active
+        self.queued = queued
+
+
 class RewriteError(ReproError):
     """Raised when the optimizer is asked to apply an inapplicable rewrite."""
 

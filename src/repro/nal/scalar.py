@@ -384,6 +384,12 @@ class NestedPlan(ScalarExpr):
         self.plan = plan
 
     def evaluate(self, env: Tup, ctx) -> list[Tup]:
+        # The nested-loop hot path: one inner-plan evaluation per outer
+        # tuple.  This is where un-unnested plans spend quadratic time,
+        # so the cooperative per-request deadline is checked here (the
+        # engines' own checks only run between operator invocations).
+        if ctx.deadline is not None:
+            ctx.check_deadline()
         return self.plan.evaluate(ctx, env)
 
     def free_attrs(self) -> frozenset[str]:

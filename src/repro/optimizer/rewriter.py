@@ -76,6 +76,19 @@ class RewriteResult:
     applied: tuple[str, ...]
     #: estimated cost (set when unnest_plan ran with ranking="cost")
     cost: "PlanCost | None" = None
+    #: memoized canonical plan digest (see :meth:`digest`)
+    _digest: str | None = None
+
+    def digest(self) -> str:
+        """The plan's canonical, process-stable digest (see
+        :mod:`repro.optimizer.digest`) — the cache key the session
+        layer files prepared plans and results under.  Computed once
+        per alternative; sound because plans are immutable (the
+        invariant at the top of this module)."""
+        if self._digest is None:
+            from repro.optimizer.digest import plan_digest
+            self._digest = plan_digest(self.plan)
+        return self._digest
 
     @property
     def rank(self) -> float:

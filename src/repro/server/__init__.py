@@ -1,0 +1,20 @@
+"""The query server: an asyncio HTTP front end over the session layer.
+
+``repro serve`` (see :mod:`repro.server.cli`) turns the library into a
+long-lived multi-client process: documents are registered once at
+startup into frozen arenas, every request then flows through one shared
+:class:`~repro.session.Session` — plan cache, result cache, cooperative
+per-request deadlines — and an admission controller bounds concurrency
+with fast 503 rejection instead of unbounded queueing.  The protocol
+and lifecycle live in :mod:`repro.server.app`; semantics, cache keys
+and timeout rules are documented in ``docs/serving.md``.
+"""
+
+from repro.server.app import AdmissionController, QueryServer, \
+    ServerConfig
+
+__all__ = [
+    "AdmissionController",
+    "QueryServer",
+    "ServerConfig",
+]

@@ -13,6 +13,7 @@ the statistics make the asymptotic claim checkable without a stopwatch.
 from __future__ import annotations
 
 import itertools
+import threading
 
 from repro.errors import (
     DuplicateDocumentError,
@@ -161,6 +162,29 @@ class DocumentStore:
     default — pure scans, the paper's setting), ``"lazy"`` (indexes built
     on first probe) or ``"eager"`` (built at registration).  See
     :mod:`repro.index`.
+
+    **Concurrency contract.**  The store is safe to share between
+    threads and asyncio tasks under one rule: *registration mutates,
+    everything else reads frozen state.*
+
+    - :meth:`register_text` / :meth:`register_tree` /
+      :meth:`unregister` serialize under an internal :class:`threading.
+      RLock`; each mutation bumps :attr:`epoch` (a monotone counter
+      cache layers key on) and notifies registered listeners *while
+      still holding the lock* — listeners may re-enter store methods on
+      the same thread (the lock is reentrant) but must not block.
+    - Reads (:meth:`get`, :meth:`names`, :meth:`schema_for`, arena
+      column access, name-table lookups) are lock-free: a
+      :class:`Document` is fully finalized — arena columns built, tag
+      names interned into the arena's private table, string-value cache
+      populated lazily but idempotently — *before* it is published into
+      the name map, and is immutable afterwards
+      (:class:`~repro.errors.FrozenDocumentError` guards mutation), so
+      a reader either sees the complete document or none at all.
+    - The shared cumulative :attr:`stats` tally is only mutated through
+      :meth:`absorb_stats`, which takes the same lock; per-request
+      :class:`ScanStats` instances are never shared, so execution never
+      contends on counters.
     """
 
     def __init__(self, index_mode: str = "off"):
@@ -168,6 +192,39 @@ class DocumentStore:
         self._documents: dict[str, Document] = {}
         self.stats = ScanStats()
         self.indexes = IndexManager(self, index_mode)
+        #: bumped on every register/unregister; session-layer plan
+        #: caches key on it so any physical-design or schema change
+        #: invalidates compiled plans wholesale
+        self.epoch = 0
+        self._lock = threading.RLock()
+        self._listeners: list = []
+
+    # ------------------------------------------------------------------
+    # Mutation listeners (cache invalidation hooks)
+    # ------------------------------------------------------------------
+    def add_listener(self, callback) -> None:
+        """Register ``callback(event, name)`` to run on every mutation
+        (``event`` is ``"register"`` or ``"unregister"``), under the
+        store lock — sessions use this to evict result-cache entries of
+        the changed document."""
+        with self._lock:
+            self._listeners.append(callback)
+
+    def remove_listener(self, callback) -> None:
+        with self._lock:
+            if callback in self._listeners:
+                self._listeners.remove(callback)
+
+    def _notify(self, event: str, name: str) -> None:
+        for callback in list(self._listeners):
+            callback(event, name)
+
+    def absorb_stats(self, stats: ScanStats) -> None:
+        """Fold a request's scan statistics into the shared cumulative
+        tally, serialized so concurrent request completions cannot lose
+        increments."""
+        with self._lock:
+            self.stats.absorb(stats)
 
     # ------------------------------------------------------------------
     # Registration
@@ -199,11 +256,14 @@ class DocumentStore:
         coincides with :func:`~repro.xmldb.node.assign_order_keys`
         numbering from 0) and the tree is frozen against mutation.
         """
-        if name in self._documents:
-            raise DuplicateDocumentError(name)
-        document = Document(name, root, dtd)
-        self._documents[name] = document
-        self.indexes.on_register(document)
+        with self._lock:
+            if name in self._documents:
+                raise DuplicateDocumentError(name)
+            document = Document(name, root, dtd)
+            self._documents[name] = document
+            self.indexes.on_register(document)
+            self.epoch += 1
+            self._notify("register", name)
         return document
 
     def unregister(self, name: str) -> None:
@@ -212,12 +272,15 @@ class DocumentStore:
         Long-lived processes can rotate documents in and out without
         leaking memory; raises :class:`~repro.errors.
         UnknownDocumentError` for names never registered."""
-        if name not in self._documents:
-            raise UnknownDocumentError(name, list(self._documents))
-        del self._documents[name]
-        self.indexes.on_unregister(name)
-        self.stats.document_scans.pop(name, None)
-        self.stats.index_probes.pop(name, None)
+        with self._lock:
+            if name not in self._documents:
+                raise UnknownDocumentError(name, list(self._documents))
+            del self._documents[name]
+            self.indexes.on_unregister(name)
+            self.stats.document_scans.pop(name, None)
+            self.stats.index_probes.pop(name, None)
+            self.epoch += 1
+            self._notify("unregister", name)
 
     # ------------------------------------------------------------------
     # Lookup

@@ -6,7 +6,13 @@ import pathlib
 
 import pytest
 
-from repro.__main__ import main
+from repro.__main__ import (
+    EXIT_BAD_DOCUMENT,
+    EXIT_BAD_QUERY,
+    EXIT_SERVER_SATURATED,
+    exit_code_for,
+    main,
+)
 from repro.datagen import BIB_DTD, generate_bib
 from repro.xmldb.serialize import serialize
 
@@ -166,13 +172,13 @@ def test_timing_flag_vectorized_mode(data_dir, query_file, capsys):
 def test_unknown_plan_label_fails_cleanly(data_dir, query_file, capsys):
     code = main([str(query_file), "--docs", str(data_dir),
                  "--plan", "hashjoin"])
-    assert code == 1
+    assert code == EXIT_BAD_QUERY
     assert "error" in capsys.readouterr().err
 
 
 def test_parse_error_fails_cleanly(data_dir, capsys):
     code = main(["--query", "for $x in", "--docs", str(data_dir)])
-    assert code == 1
+    assert code == EXIT_BAD_QUERY
     assert "error" in capsys.readouterr().err
 
 
@@ -224,5 +230,48 @@ def test_stats_subcommand_counts_match_document(data_dir, capsys):
 
 def test_stats_unknown_document_fails_cleanly(data_dir, capsys):
     code = main(["stats", "missing.xml", "--docs", str(data_dir)])
-    assert code == 1
+    assert code == EXIT_BAD_DOCUMENT
     assert "unknown document" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Exit codes: bad-query vs bad-document vs server-saturated
+# ----------------------------------------------------------------------
+def test_unknown_document_exit_code(data_dir, capsys):
+    code = main(["--query",
+                 'for $t in doc("missing.xml")//title return $t',
+                 "--docs", str(data_dir)])
+    assert code == EXIT_BAD_DOCUMENT
+    assert "unknown document" in capsys.readouterr().err
+
+
+def test_bad_document_xml_exit_code(tmp_path, capsys):
+    (tmp_path / "broken.xml").write_text("<a><b></a>")
+    code = main(["--query",
+                 'for $t in doc("broken.xml")//t return $t',
+                 "--docs", str(tmp_path)])
+    assert code == EXIT_BAD_DOCUMENT
+    assert "error" in capsys.readouterr().err
+
+
+def test_exit_codes_are_distinct_and_stable():
+    """The code ↔ error-class mapping is a contract (mirrored by the
+    server's HTTP statuses); UnknownDocumentError must map to the
+    document code even though it subclasses EvaluationError."""
+    from repro.errors import (
+        EvaluationError,
+        ServerSaturatedError,
+        UnknownDocumentError,
+        XMLParseError,
+        XQueryParseError,
+    )
+    assert (EXIT_BAD_QUERY, EXIT_BAD_DOCUMENT,
+            EXIT_SERVER_SATURATED) == (2, 3, 4)
+    assert exit_code_for(XQueryParseError("x")) == EXIT_BAD_QUERY
+    assert exit_code_for(EvaluationError("x")) == EXIT_BAD_QUERY
+    assert exit_code_for(UnknownDocumentError("x", [])) \
+        == EXIT_BAD_DOCUMENT
+    assert exit_code_for(XMLParseError("x")) == EXIT_BAD_DOCUMENT
+    assert exit_code_for(ServerSaturatedError(4, 16)) \
+        == EXIT_SERVER_SATURATED
+    assert exit_code_for(RuntimeError("x")) == 1
