@@ -46,6 +46,7 @@ CI_RUNS = (
     ("bench_q10_order.py", ("600", "3000")),
     ("bench_q11_vectorized.py", ("4000", "20000")),
     ("bench_q12_serve.py", ("100", "500")),
+    ("bench_q13_parallel.py", ("1200", "19200")),
 )
 
 

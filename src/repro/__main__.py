@@ -140,11 +140,17 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "invocation and row counts (EXPLAIN ANALYZE)")
     parser.add_argument("--mode",
                         choices=("physical", "pipelined", "vectorized",
-                                 "reference", "auto"),
+                                 "reference", "auto", "parallel"),
                         default="physical",
-                        help="execution engine ('auto' picks pipelined "
-                             "or vectorized via the cost model; see "
-                             "docs/execution-modes.md)")
+                        help="execution engine ('auto' picks pipelined, "
+                             "vectorized or parallel via the cost "
+                             "model; see docs/execution-modes.md)")
+    parser.add_argument("--workers", type=int, default=None,
+                        metavar="N",
+                        help="worker processes for --mode parallel "
+                             "(multi-process scatter/gather over "
+                             "shared-memory arenas; default: "
+                             "REPRO_WORKERS, else the machine's cores)")
     parser.add_argument("--timing", action="store_true",
                         help="trace the query lifecycle and print the "
                              "span tree plus per-operator metrics to "
@@ -398,7 +404,8 @@ def main(argv: list[str] | None = None) -> int:
         result = db.execute(alt.plan, mode=args.mode,
                             analyze=args.analyze,
                             tracer=tracer, metrics=metrics,
-                            timeout=args.timeout)
+                            timeout=args.timeout,
+                            workers=args.workers)
         print(result.output)
         if args.timing:
             print("== TRACE ==", file=sys.stderr)

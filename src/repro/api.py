@@ -87,25 +87,39 @@ class Database:
     def execute(self, plan: Operator, mode: str = "physical",
                 analyze: bool = False,
                 tracer=None, metrics=None,
-                timeout: float | None = None) -> ExecutionResult:
+                timeout: float | None = None,
+                workers: int | None = None) -> ExecutionResult:
         """Run a plan; returns rows, constructed output and scan stats.
 
         ``mode`` is ``"physical"`` (materializing hash engine),
         ``"pipelined"`` (generator-based engine with short-circuit
         quantifiers), ``"vectorized"`` (batch-at-a-time engine over
-        arena columns), ``"auto"`` (pipelined or vectorized, picked by
-        the cost model's per-batch/per-tuple split) or ``"reference"``
-        (definitional semantics) — see ``docs/execution-modes.md`` for
-        the decision table.  ``analyze=True`` records per-operator
-        invocation/row counts keyed by tree position (EXPLAIN ANALYZE;
-        any mode but reference).  ``tracer``/``metrics`` attach a
+        arena columns), ``"parallel"`` (multi-process scatter/gather
+        over shared-memory arenas, see ``docs/parallelism.md``),
+        ``"auto"`` (pipelined, vectorized or parallel, picked by the
+        cost model) or ``"reference"`` (definitional semantics) — see
+        ``docs/execution-modes.md`` for the decision table.
+        ``analyze=True`` records per-operator invocation/row counts
+        keyed by tree position (EXPLAIN ANALYZE; any mode but
+        reference/parallel).  ``tracer``/``metrics`` attach a
         :class:`~repro.obs.trace.Tracer` and a request-scoped
         :class:`~repro.obs.metrics.MetricsRegistry` (see
         :mod:`repro.obs`).  ``timeout`` sets a cooperative per-request
         deadline in seconds (:class:`~repro.errors.
-        DeadlineExceededError` past it)."""
+        DeadlineExceededError` past it).  ``workers`` sizes the
+        parallel worker pool (default: the ``REPRO_WORKERS``
+        environment override, then the machine's cores)."""
         return execute(plan, self.store, mode=mode, analyze=analyze,
-                       tracer=tracer, metrics=metrics, timeout=timeout)
+                       tracer=tracer, metrics=metrics, timeout=timeout,
+                       workers=workers)
+
+    def close(self) -> None:
+        """Deterministic resource teardown: stop the parallel worker
+        pool (if one was spawned for this database) and unlink its
+        shared-memory segments.  Idempotent; an unclosed database is
+        cleaned up by the pool's ``atexit`` hook instead."""
+        from repro.engine.parallel import close_pool
+        close_pool(self.store)
 
 
 class CompiledQuery:

@@ -15,8 +15,32 @@ from repro.nal.values import Tup
 from repro.xmldb.document import DocumentStore, ScanStats
 
 #: execution modes accepted by :func:`execute` (``"auto"`` resolves to
-#: pipelined or vectorized via the cost model's batch split)
-MODES = ("physical", "pipelined", "vectorized", "reference", "auto")
+#: pipelined or vectorized — or parallel, when workers are enabled and
+#: the cost model's startup-vs-speedup estimate favors it)
+MODES = ("physical", "pipelined", "vectorized", "reference", "auto",
+         "parallel")
+
+
+def resolve_workers(workers: int | None,
+                    explicit_parallel: bool = False) -> int | None:
+    """The effective worker count for one execution: the explicit
+    argument wins, then the ``REPRO_WORKERS`` environment override;
+    an explicit ``mode="parallel"`` with neither defaults to the
+    machine's cores, while ``mode="auto"`` leaves parallelism off
+    unless someone asked for workers."""
+    import os
+
+    from repro.engine.parallel import DEFAULT_WORKERS, WORKERS_ENV
+
+    if workers is not None:
+        return workers
+    env = os.environ.get(WORKERS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return DEFAULT_WORKERS if explicit_parallel else None
 
 
 class ExecutionResult:
@@ -66,7 +90,8 @@ def execute(plan: Operator, store: DocumentStore,
             reset_stats: bool = True,
             analyze: bool = False,
             tracer=None, metrics=None,
-            timeout: float | None = None) -> ExecutionResult:
+            timeout: float | None = None,
+            workers: int | None = None) -> ExecutionResult:
     """Execute a plan against a document store.
 
     ``mode="physical"`` uses the hash-based engine (the default; what the
@@ -112,15 +137,23 @@ def execute(plan: Operator, store: DocumentStore,
     """
     if mode not in MODES:
         raise ValueError(f"unknown execution mode {mode!r}")
+    workers = resolve_workers(workers,
+                              explicit_parallel=(mode == "parallel"))
     if mode == "auto":
         from repro.optimizer.cost import preferred_mode
-        mode = preferred_mode(plan, store)
+        mode = preferred_mode(plan, store, workers=workers)
     if analyze and mode == "reference":
         raise UnsupportedModeError(
             "analyze=True is not supported under mode='reference': the "
             "definitional evaluator has no per-operator measurement "
             "hooks, so EXPLAIN ANALYZE would silently return nothing — "
             "use mode='physical' or mode='pipelined'")
+    if analyze and mode == "parallel":
+        raise UnsupportedModeError(
+            "analyze=True is not supported under mode='parallel': "
+            "operator counts live in the worker processes and tree "
+            "positions of plan fragments do not line up with the "
+            "original plan — use a serial mode for EXPLAIN ANALYZE")
     stats = ScanStats() if reset_stats else store.stats
     deadline = None if timeout is None else time.monotonic() + timeout
     ctx = EvalContext(store, stats=stats, tracer=tracer, metrics=metrics,
@@ -134,6 +167,9 @@ def execute(plan: Operator, store: DocumentStore,
     start = time.perf_counter()
     if mode == "physical":
         rows = run_physical(plan, ctx)
+    elif mode == "parallel":
+        from repro.engine.parallel import run_parallel
+        rows = run_parallel(plan, ctx, workers or 2)
     elif mode == "pipelined":
         rows = list(run_pipelined(plan, ctx, path=ROOT_PATH))
     elif mode == "vectorized":

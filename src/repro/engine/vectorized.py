@@ -72,6 +72,7 @@ from repro.nal.scalar import (
     FuncCall,
     Not,
     Or,
+    PartitionedPath,
     PathApply,
     iter_path_items,
 )
@@ -548,6 +549,10 @@ def _map_batch(plan: Map, batch: Batch, env: Tup, ctx) -> Batch:
 
 def _unnest_map(plan: UnnestMap, ctx, env: Tup, path) -> Batch:
     batch = _child(plan, 0, ctx, env, path)
+    if isinstance(plan.expr, PartitionedPath):
+        fast = _unnest_map_partitioned(plan, batch, env, ctx)
+        if fast is not None:
+            return fast
     if isinstance(plan.expr, PathApply):
         fast = _unnest_map_fast(plan, batch, env, ctx)
         if fast is not None:
@@ -591,6 +596,46 @@ def _unnest_map_fast(plan: UnnestMap, batch: Batch, env: Tup,
         handles = value.arena.nodes
         indices.extend([i] * len(rows))
         nodes.extend(handles[r] for r in rows)
+    return batch.replicate(indices, plan.attr, nodes)
+
+
+def _unnest_map_partitioned(plan: UnnestMap, batch: Batch, env: Tup,
+                            ctx) -> Batch | None:
+    """Υ over a :class:`PartitionedPath` (a worker's slice of the
+    parallel engine's range-partitioned driving scan): the first
+    ``descendant::tag`` step is the arena's pre-list slice, further
+    steps reuse the compiled-step walk — so parallel plan fragments
+    scan at the same columnar speed as the serial engine they shard."""
+    expr = plan.expr
+    rest = _compile_steps(Path(expr.inner.path.steps[1:],
+                               absolute=False))
+    if rest is None:
+        return None
+    indices: list[int] = []
+    nodes: list[Node] = []
+    for i, t in enumerate(batch.to_rows()):
+        context, eff_path = expr.context_node(scalar_env(env, t), ctx)
+        arena = context.arena
+        if arena is None:
+            return None
+        first = eff_path.steps[0]
+        rows = arena.descendants_by_tag(context.pre,
+                                        first.test.name)
+        rows = rows[expr.start:expr.stop]
+        if ctx.stats is not None:
+            ctx.stats.record_scan(arena.document.name)
+            ctx.stats.record_visits(len(rows))
+        handles = arena.nodes
+        if not rest:
+            indices.extend([i] * len(rows))
+            nodes.extend(handles[r] for r in rows)
+            continue
+        for r in rows:
+            hits = _apply_steps(handles[r], rest)
+            if hits is None:
+                return None
+            indices.extend([i] * len(hits))
+            nodes.extend(handles[h] for h in hits)
     return batch.replicate(indices, plan.attr, nodes)
 
 

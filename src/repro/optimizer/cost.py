@@ -30,11 +30,13 @@ from repro.nal.construct import Construct, GroupConstruct
 from repro.nal.group_ops import GroupBinary, GroupUnary, SelfGroup
 from repro.nal.join_ops import AntiJoin, Cross, Join, OuterJoin, SemiJoin
 from repro.nal.scalar import (
+    CollectionAccess,
     DocAccess,
     Exists,
     Forall,
     FuncCall,
     NestedPlan,
+    PartitionedPath,
     PathApply,
     ScalarExpr,
 )
@@ -67,6 +69,18 @@ BATCH_SETUP_COST = 16.0
 #: still pays (tight columnar loops replace generator hops and Tup
 #: copies for the rest)
 VECTORIZED_TUPLE_DISCOUNT = 0.35
+
+#: fixed charge for entering the multi-process path at all: syncing
+#: shared-memory manifests to the pool and the scatter/gather round
+#: trips.  High on purpose — small queries must stay serial.
+PARALLEL_STARTUP_COST = 5000.0
+#: per-task charge (plan pickling, one pipe round trip per worker)
+PARALLEL_TASK_COST = 500.0
+#: per-result-tuple charge: every row the workers produce crosses the
+#: process boundary once (encode, pickle, decode, re-intern).  Must
+#: stay well below the per-tuple interpreter work, or transfer cost
+#: eats the entire parallel win on scan-shaped plans.
+PARALLEL_TUPLE_COST = 0.5
 
 
 class TagStatistics:
@@ -342,10 +356,23 @@ class CostModel:
             pred = self._scalar(expr.pred)
             per_eval = source.per_eval + source.fanout * pred.per_eval
             return ScalarCost(per_eval, 1.0)
+        if isinstance(expr, PartitionedPath):
+            # One worker's slice of a range-partitioned driving scan
+            # (see repro.engine.parallel): the inner path's estimate,
+            # scaled to the slice — so a worker's preferred_mode sees
+            # the fragment's real share of the scan.
+            inner = self._path_apply(expr.inner)
+            width = max(1.0, float(expr.stop - expr.start))
+            share = min(1.0, width / max(1.0, inner.fanout))
+            return ScalarCost(max(1.0, inner.per_eval * share),
+                              max(1.0, inner.fanout * share))
         if isinstance(expr, PathApply):
             return self._path_apply(expr)
         if isinstance(expr, DocAccess):
             return ScalarCost(1.0, 1.0)
+        if isinstance(expr, CollectionAccess):
+            members = len(self._collection_members(expr))
+            return ScalarCost(max(1.0, members), max(1.0, members))
         if isinstance(expr, FuncCall):
             inner = [self._scalar(a) for a in expr.args]
             per_eval = sum(a.per_eval for a in inner) + 1.0
@@ -361,6 +388,16 @@ class CostModel:
 
     def _path_apply(self, expr: PathApply) -> ScalarCost:
         source = self._scalar(expr.source)
+        if isinstance(expr.source, CollectionAccess):
+            # A path over every collection member: scan each member,
+            # fanout is the summed per-document estimate.
+            members = self._collection_members(expr.source)
+            scan_cost = sum(self.stats.element_count(name)
+                            for name in members)
+            fanout = sum(self._path_fanout(name, expr.path)
+                         for name in members)
+            return ScalarCost(source.per_eval + max(1.0, scan_cost),
+                              max(1.0, fanout))
         doc_name = self._root_document(expr.source)
         if doc_name is None or doc_name not in self.store:
             # Relative path (e.g. b2/author): small constant fanout.
@@ -387,6 +424,11 @@ class CostModel:
         return max(1.0, self.stats.element_count(doc_name)
                    / max(1.0, self.stats.average_fanout(doc_name)))
 
+
+    def _collection_members(self, expr: CollectionAccess) -> list[str]:
+        if expr.names is not None:
+            return [name for name in expr.names if name in self.store]
+        return self.store.collection_names(expr.pattern)
 
     def _root_document(self, expr: ScalarExpr) -> str | None:
         """The document a source expression denotes, if statically known
@@ -428,13 +470,41 @@ def estimate(plan: Operator, store: DocumentStore) -> PlanCost:
     return CostModel(store).estimate(plan)
 
 
-def preferred_mode(plan: Operator, store: DocumentStore) -> str:
-    """The execution mode the batch split recommends for ``plan``:
+def parallel_total(cost: PlanCost, workers: int) -> float:
+    """Estimated total for multi-process execution with ``workers``
+    workers: the best serial total divides across the pool (each worker
+    runs a serial engine over its fragment, so the floor it amortizes
+    is the serial winner, not the tuple-at-a-time total), but the
+    query pays a fixed startup charge, a per-task dispatch charge, and
+    a per-result-tuple transfer charge — the explicit model of why
+    small inputs must stay serial."""
+    workers = max(1, workers)
+    serial_floor = min(cost.total, cost.batched_total())
+    return (PARALLEL_STARTUP_COST
+            + workers * PARALLEL_TASK_COST
+            + serial_floor / workers
+            + cost.cardinality * PARALLEL_TUPLE_COST)
+
+
+def preferred_mode(plan: Operator, store: DocumentStore,
+                   workers: int | None = None) -> str:
+    """The execution mode the cost split recommends for ``plan``:
     ``"vectorized"`` when the estimated batched total undercuts the
     tuple-at-a-time total (enough tuples flow to amortize the
     per-operator batch setup), ``"pipelined"`` otherwise — small plans
-    stay tuple-at-a-time, scans stay columnar.  This is what
-    ``execute(mode="auto")`` dispatches on."""
+    stay tuple-at-a-time, scans stay columnar.  With ``workers`` set
+    (> 1), a third alternative competes: multi-process scatter/gather,
+    chosen only when the plan has a partitionable scan *and*
+    :func:`parallel_total` strictly undercuts the serial winner — so
+    ``best_plan`` keeps serial execution for small inputs.  This is
+    what ``execute(mode="auto")`` dispatches on."""
     cost = estimate(plan, store)
-    return "vectorized" if cost.batched_total() < cost.total \
+    serial_cost = min(cost.total, cost.batched_total())
+    mode = "vectorized" if cost.batched_total() < cost.total \
         else "pipelined"
+    if workers is not None and workers > 1:
+        from repro.engine.parallel import parallelizable
+        if parallelizable(plan, store) is not None \
+                and parallel_total(cost, workers) < serial_cost:
+            return "parallel"
+    return mode

@@ -85,8 +85,21 @@ def referenced_documents(plan: Operator) -> frozenset[str]:
     return frozenset(names)
 
 
-def _collect_docs(plan: Operator, names: set[str]) -> None:
-    from repro.nal.scalar import DocAccess, NestedPlan
+def referenced_collections(plan: Operator) -> frozenset[str]:
+    """Patterns of every ``collection("...")`` leaf the plan can read.
+
+    A pattern's *resolved member set* depends on the store's current
+    contents, so result-cache keys resolve each pattern against the
+    store at key time (see ``Session._doc_versions``): registering or
+    removing a matching document changes the key and invalidates."""
+    patterns: set[str] = set()
+    _collect_docs(plan, set(), patterns)
+    return frozenset(patterns)
+
+
+def _collect_docs(plan: Operator, names: set[str],
+                  patterns: set[str] | None = None) -> None:
+    from repro.nal.scalar import CollectionAccess, DocAccess, NestedPlan
 
     probe = getattr(plan, "probe", None)
     doc = getattr(probe, "doc", None)
@@ -96,8 +109,10 @@ def _collect_docs(plan: Operator, names: set[str]) -> None:
     def collect_expr(expr) -> None:
         if isinstance(expr, DocAccess):
             names.add(expr.name)
+        if isinstance(expr, CollectionAccess) and patterns is not None:
+            patterns.add(expr.pattern)
         if isinstance(expr, NestedPlan):
-            _collect_docs(expr.plan, names)
+            _collect_docs(expr.plan, names, patterns)
             return
         for child in expr.children():
             collect_expr(child)
@@ -105,4 +120,4 @@ def _collect_docs(plan: Operator, names: set[str]) -> None:
     for expr in plan.scalar_exprs():
         collect_expr(expr)
     for child in plan.children:
-        _collect_docs(child, names)
+        _collect_docs(child, names, patterns)

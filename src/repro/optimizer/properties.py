@@ -61,7 +61,8 @@ from dataclasses import dataclass, replace
 from repro.nal.construct import Construct, GroupConstruct
 from repro.nal.group_ops import GroupBinary, GroupUnary, SelfGroup
 from repro.nal.join_ops import AntiJoin, Cross, Join, OuterJoin, SemiJoin
-from repro.nal.scalar import AttrRef, FuncCall, PathApply
+from repro.nal.scalar import AttrRef, CollectionAccess, FuncCall, \
+    PathApply
 from repro.nal.unary_ops import (
     DistinctProject,
     ElidedSort,
@@ -440,12 +441,15 @@ class _Inference:
         props = child.drop_attr_facts(op.attr)  # rebinding, as in _map
         # Υ expands each input tuple into a consecutive run, so the
         # child's lexicographic order survives as the major order.
-        if child.at_most_one and isinstance(op.expr, PathApply) \
+        if child.at_most_one \
+                and isinstance(op.expr, (PathApply, CollectionAccess)) \
                 and op.origin is not None and not op.origin.values \
                 and not op.origin.distinct:
             # A path evaluated from ≤1 context node yields its result
             # nodes duplicate-free in document order (the evaluator's
-            # contract), one binding per tuple.
+            # contract), one binding per tuple.  A collection() range
+            # has the same shape: distinct document roots in
+            # registration order, which *is* global document order.
             return replace(props, at_most_one=False,
                            duplicate_free=True,
                            doc_order_attr=op.attr)

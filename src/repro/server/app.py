@@ -11,7 +11,17 @@ JSON out, ``Connection: close`` per exchange.  Three endpoints:
   "rows", "elapsed", "cached", "plan", "mode", "stats"}``.
 - ``GET /healthz`` — liveness.
 - ``GET /stats`` — session cache counters plus server admission
-  counters (requests, rejections, timeouts).
+  counters (requests, rejections, timeouts, coalesced requests).
+
+**Single-flight coalescing.**  Before executing, a request's *work
+identity* is computed: canonical plan digest + the referenced
+documents' versions + mode/plan/timeout (``_coalesce_key``, cheap
+under the plan cache).  If an identical key is already in flight, the
+request becomes a *follower*: it releases its admission slot and
+awaits the leader's future instead of re-executing — a thundering herd
+of identical dashboard queries occupies one worker thread, not
+``max_concurrency`` of them.  Followers share the leader's outcome,
+errors included; ``coalesced_total`` in ``/stats`` counts them.
 
 **Threading model.**  The asyncio loop only parses protocol; query
 evaluation is CPU-bound Python, so it runs on a
@@ -102,6 +112,12 @@ class ServerConfig:
     #: hard cap on client-requested timeouts
     max_timeout: float = 300.0
     default_mode: str = "physical"
+    #: worker-process budget for ``mode="parallel"`` requests (and the
+    #: cost model's ``mode="auto"`` parallel alternative); None leaves
+    #: multi-process execution off unless ``REPRO_WORKERS`` is set.
+    #: Distinct from ``max_concurrency``, which sizes the *thread*
+    #: pool serving concurrent requests.
+    parallel_workers: int | None = None
 
 
 class AdmissionController:
@@ -161,6 +177,12 @@ class QueryServer:
         self._server: asyncio.AbstractServer | None = None
         self.requests_total = 0
         self.timeouts_total = 0
+        #: single-flight coalescing: semantically identical requests
+        #: (same plan digest, document versions, mode, label, timeout)
+        #: in flight at the same time execute once; followers await the
+        #: leader's future.  Event-loop confined — no lock needed.
+        self._inflight: dict[tuple, asyncio.Future] = {}
+        self.coalesced_total = 0
         #: optional test/diagnostics hook run on the worker thread
         #: right before execution (used to hold workers busy
         #: deterministically in the saturation tests)
@@ -205,6 +227,7 @@ class QueryServer:
                 "rejected_total": self.admission.rejected_total,
                 "admitted_total": self.admission.admitted_total,
                 "timeouts_total": self.timeouts_total,
+                "coalesced_total": self.coalesced_total,
                 "active": self.admission.active,
                 "queued": self.admission.queued,
                 "max_concurrency": self.admission.max_concurrency,
@@ -328,11 +351,38 @@ class QueryServer:
             await self.admission.acquire()
         except ServerSaturatedError as exc:
             return 503, {"error": str(exc), "kind": "saturated"}
+        released = False
         try:
             loop = asyncio.get_running_loop()
-            result, plan_label = await loop.run_in_executor(
-                self._executor, self._execute_blocking,
+            # Cheap under the plan cache; raises the same query errors
+            # a full execution would, mapped identically below.
+            key = await loop.run_in_executor(
+                self._executor, self._coalesce_key,
                 request["query"], mode, label, timeout)
+            leader_future = self._inflight.get(key)
+            if leader_future is not None:
+                # Follower: same work is already executing — free our
+                # admission slot (we only await, we don't occupy a
+                # worker thread) and share the leader's outcome.
+                self.coalesced_total += 1
+                self.admission.release()
+                released = True
+                result, plan_label = await leader_future
+            else:
+                leader_future = loop.create_future()
+                self._inflight[key] = leader_future
+                try:
+                    result, plan_label = await loop.run_in_executor(
+                        self._executor, self._execute_blocking,
+                        request["query"], mode, label, timeout)
+                except BaseException as exc:
+                    leader_future.set_exception(exc)
+                    leader_future.exception()  # mark retrieved
+                    raise
+                else:
+                    leader_future.set_result((result, plan_label))
+                finally:
+                    self._inflight.pop(key, None)
         except DeadlineExceededError as exc:
             self.timeouts_total += 1
             return 504, {"error": str(exc), "kind": "deadline"}
@@ -347,7 +397,8 @@ class QueryServer:
         except ReproError as exc:  # pragma: no cover - defensive
             return 500, {"error": str(exc), "kind": "internal"}
         finally:
-            self.admission.release()
+            if not released:
+                self.admission.release()
         return 200, {
             "output": result.output,
             "rows": len(result.rows),
@@ -357,6 +408,20 @@ class QueryServer:
             "mode": mode,
             "stats": result.stats,
         }
+
+    def _coalesce_key(self, text: str, mode: str, label: str | None,
+                      timeout: float | None) -> tuple:
+        """Runs on a worker thread: the identity of one request's
+        *work* — canonical plan digest plus the referenced documents'
+        versions (the result cache's freshness key) plus everything
+        that changes execution semantics.  Requests with equal keys in
+        flight together would compute byte-identical results, so the
+        server runs one and fans its outcome out."""
+        prepared = self.session.prepare(text)
+        alt = prepared.best() if label is None \
+            else prepared.plan_named(label)
+        return (alt.digest(), self.session._doc_versions(alt.plan),
+                mode, label, timeout)
 
     def _execute_blocking(self, text: str, mode: str,
                           label: str | None, timeout: float | None):

@@ -58,7 +58,8 @@ from typing import Callable
 
 from repro.engine.executor import ExecutionResult, execute
 from repro.obs.trace import maybe_span
-from repro.optimizer.digest import referenced_documents
+from repro.optimizer.digest import referenced_collections, \
+    referenced_documents
 from repro.optimizer.rewriter import RewriteResult, unnest_plan
 
 #: "not passed" marker for per-request overrides of session defaults
@@ -159,19 +160,22 @@ class PreparedQuery:
             else self.plan_named(label).plan
         return plan_to_string(plan)
 
-    def resolve_mode(self, mode: str, alt: RewriteResult) -> str:
-        """``"auto"`` resolved once per (alternative, store epoch) —
-        the cost model's verdict is a function of the frozen arenas, so
-        repeated requests reuse it instead of re-walking the plan."""
+    def resolve_mode(self, mode: str, alt: RewriteResult,
+                     workers: int | None = None) -> str:
+        """``"auto"`` resolved once per (alternative, worker budget,
+        store epoch) — the cost model's verdict is a function of the
+        frozen arenas and the parallelism on offer, so repeated
+        requests reuse it instead of re-walking the plan."""
         if mode != "auto":
             return mode
-        key = alt.digest()
+        key = (alt.digest(), workers)
         with self._auto_lock:
             resolved = self._auto_modes.get(key)
         if resolved is None:
             from repro.optimizer.cost import preferred_mode
             resolved = preferred_mode(alt.plan,
-                                      self.session.database.store)
+                                      self.session.database.store,
+                                      workers=workers)
             with self._auto_lock:
                 self._auto_modes[key] = resolved
         return resolved
@@ -179,8 +183,8 @@ class PreparedQuery:
     # ------------------------------------------------------------------
     def execute(self, mode: str | None = None, label: str | None = None,
                 analyze: bool = False, tracer=None, metrics=None,
-                timeout=_UNSET, use_result_cache: bool = True
-                ) -> ExecutionResult:
+                timeout=_UNSET, use_result_cache: bool = True,
+                workers=_UNSET) -> ExecutionResult:
         """One request: execute the best plan (or the alternative named
         ``label``) with a fresh request-scoped context.
 
@@ -188,11 +192,13 @@ class PreparedQuery:
         ``use_result_cache=False``, ``analyze=True`` or a ``tracer`` is
         attached — observed requests always execute so their recordings
         describe real work).  ``timeout`` defaults to the session's
-        ``default_timeout``."""
+        ``default_timeout``; ``workers`` to its ``default_workers``
+        (the parallel worker budget ``mode="auto"`` weighs and
+        ``mode="parallel"`` uses)."""
         return self.session._execute_prepared(
             self, mode=mode, label=label, analyze=analyze,
             tracer=tracer, metrics=metrics, timeout=timeout,
-            use_result_cache=use_result_cache)
+            use_result_cache=use_result_cache, workers=workers)
 
 
 class Session:
@@ -208,10 +214,12 @@ class Session:
                  result_cache_size: int = 256,
                  default_mode: str = "physical",
                  default_timeout: float | None = None,
+                 default_workers: int | None = None,
                  ranking: str = "heuristic"):
         self.database = database
         self.default_mode = default_mode
         self.default_timeout = default_timeout
+        self.default_workers = default_workers
         self.ranking = ranking
         self._plan_cache = LRUCache(plan_cache_size)
         self._result_cache = LRUCache(result_cache_size)
@@ -280,7 +288,8 @@ class Session:
                 label: str | None = None, analyze: bool = False,
                 tracer=None, metrics=None, timeout=_UNSET,
                 ranking: str | None = None,
-                use_result_cache: bool = True) -> ExecutionResult:
+                use_result_cache: bool = True,
+                workers=_UNSET) -> ExecutionResult:
         """Prepare-and-execute in one call — the server's request path."""
         prepared, plan_hit = self._prepare(text, ranking, tracer)
         if metrics is not None:
@@ -289,14 +298,22 @@ class Session:
         return prepared.execute(mode=mode, label=label, analyze=analyze,
                                 tracer=tracer, metrics=metrics,
                                 timeout=timeout,
-                                use_result_cache=use_result_cache)
+                                use_result_cache=use_result_cache,
+                                workers=workers)
 
     def _doc_versions(self, plan) -> tuple:
         """The referenced documents' ``(name, seq)`` pairs in sorted
-        name order — the freshness half of the result-cache key."""
+        name order — the freshness half of the result-cache key.
+        ``collection()`` patterns are resolved against the store *at
+        key time*: every current member contributes its version, so
+        both a member's re-registration and a membership change
+        (register/unregister of a matching name) rotate the key."""
         store = self.database.store
+        names = set(referenced_documents(plan))
+        for pattern in referenced_collections(plan):
+            names.update(store.collection_names(pattern))
         versions = []
-        for name in sorted(referenced_documents(plan)):
+        for name in sorted(names):
             # An unknown document surfaces as the usual execution-time
             # error; version it as absent so the key stays total.
             seq = store.get(name).seq if name in store else -1
@@ -306,19 +323,24 @@ class Session:
     def _execute_prepared(self, prepared: PreparedQuery,
                           mode: str | None, label: str | None,
                           analyze: bool, tracer, metrics, timeout,
-                          use_result_cache: bool) -> ExecutionResult:
+                          use_result_cache: bool,
+                          workers=_UNSET) -> ExecutionResult:
         mode = self.default_mode if mode is None else mode
         # Validate before the result-cache shortcut so a bogus mode
         # fails identically on hits and misses.
-        from repro.engine.executor import MODES
+        from repro.engine.executor import MODES, resolve_workers
         if mode not in MODES:
             raise ValueError(f"unknown execution mode {mode!r}")
         if timeout is _UNSET:
             timeout = self.default_timeout
+        if workers is _UNSET:
+            workers = self.default_workers
+        workers = resolve_workers(workers,
+                                  explicit_parallel=(mode == "parallel"))
         alt = prepared.best() if label is None \
             else prepared.plan_named(label)
         if mode != "reference":
-            mode = prepared.resolve_mode(mode, alt)
+            mode = prepared.resolve_mode(mode, alt, workers=workers)
         cacheable = (use_result_cache and not analyze and tracer is None)
         key = None
         if cacheable:
@@ -340,7 +362,7 @@ class Session:
                 metrics.counter("session.result_cache.miss").inc()
         result = execute(alt.plan, self.database.store, mode=mode,
                          analyze=analyze, tracer=tracer, metrics=metrics,
-                         timeout=timeout)
+                         timeout=timeout, workers=workers)
         if key is not None:
             # Tuples of the immutable rows list + output text + stats
             # snapshot; rows are shallow-copied on the way out of a hit

@@ -68,7 +68,8 @@ class Arena:
     __slots__ = ("document", "kinds", "name_ids", "texts", "posts",
                  "levels", "parents", "ends", "names", "nodes",
                  "child_lists", "attr_lists", "_name_to_id",
-                 "_tag_pres", "_elem_pres", "_text_pres", "_flat_tags")
+                 "_tag_pres", "_elem_pres", "_text_pres", "_flat_tags",
+                 "_avg_fanout")
 
     def __init__(self, document=None):
         #: the owning Document (None for throwaway arenas built over
@@ -98,6 +99,9 @@ class Arena:
         self._text_pres: list[int] = []
         #: lazy per-tag flatness verdicts (see :meth:`tag_is_flat`)
         self._flat_tags: dict[str, bool] = {}
+        #: memoized :meth:`average_fanout` — the cost model asks on
+        #: every estimate, and the columns never change once frozen
+        self._avg_fanout: float | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -268,13 +272,21 @@ class Arena:
     def average_fanout(self) -> float:
         """Mean number of child elements per *internal* element — the
         exact fanout figure the cost model uses for paths it cannot
-        resolve to a tag count."""
-        internal = sum(1 for pre in self._elem_pres
-                       if any(c.kind is NodeKind.ELEMENT
-                              for c in self.child_lists[pre]))
-        if internal == 0:
-            return 0.0
-        return (len(self._elem_pres) - 1) / internal
+        resolve to a tag count.  Memoized: the columns are frozen, and
+        the cost model asks on every plan estimate."""
+        if self._avg_fanout is not None:
+            return self._avg_fanout
+        # An element is internal iff some element row names it as
+        # parent — read off the parents column, no handle allocation.
+        kinds = self.kinds
+        parents = self.parents
+        element = NodeKind.ELEMENT
+        internal = {parents[pre] for pre in self._elem_pres
+                    if pre and kinds[parents[pre]] is element}
+        count = len(self._elem_pres)
+        self._avg_fanout = ((count - 1) / len(internal)
+                            if internal else 0.0)
+        return self._avg_fanout
 
     def stats(self) -> dict:
         """Summary used by ``python -m repro stats`` and the examples."""

@@ -12,6 +12,7 @@ the statistics make the asymptotic claim checkable without a stopwatch.
 
 from __future__ import annotations
 
+import fnmatch
 import itertools
 import threading
 
@@ -133,6 +134,21 @@ class ScanStats:
         self.node_visits += other.node_visits
         self.order_fastpath_hits += other.order_fastpath_hits
         self.order_dedup_passes += other.order_dedup_passes
+
+    def absorb_snapshot(self, snap: dict) -> None:
+        """Inverse of :meth:`snapshot` for accumulation: add counters
+        from a snapshot dict — how the parallel engine folds the
+        per-worker statistics (which cross the process boundary as
+        plain dicts) back into the request's :class:`ScanStats`."""
+        for name, count in snap.get("document_scans", {}).items():
+            self.document_scans[name] = \
+                self.document_scans.get(name, 0) + count
+        for name, count in snap.get("index_probes", {}).items():
+            self.index_probes[name] = \
+                self.index_probes.get(name, 0) + count
+        self.node_visits += snap.get("node_visits", 0)
+        self.order_fastpath_hits += snap.get("order_fastpath_hits", 0)
+        self.order_dedup_passes += snap.get("order_dedup_passes", 0)
 
     def snapshot(self) -> dict:
         return {
@@ -295,6 +311,21 @@ class DocumentStore:
 
     def names(self) -> list[str]:
         return sorted(self._documents)
+
+    def collection(self, pattern: str) -> list[Document]:
+        """Documents whose registered name matches the shell-style
+        ``pattern`` (``fnmatch``: ``*``, ``?``, ``[...]``), in
+        registration (``seq``) order — the order ``collection()``
+        sequences and global document order agree on.  An unmatched
+        pattern is an empty collection, not an error."""
+        matches = [doc for name, doc in self._documents.items()
+                   if fnmatch.fnmatchcase(name, pattern)]
+        matches.sort(key=lambda doc: doc.seq)
+        return matches
+
+    def collection_names(self, pattern: str) -> list[str]:
+        """Names of :meth:`collection` matches, in ``seq`` order."""
+        return [doc.name for doc in self.collection(pattern)]
 
     def schema_for(self, name: str) -> SchemaInfo | None:
         """The document's schema, or ``None`` if it had no DTD."""

@@ -45,11 +45,17 @@ class ContextItem:
 
 @dataclass(frozen=True)
 class DocCall:
-    """``doc("name")`` / ``document("name")``."""
+    """``doc("name")`` / ``document("name")`` — or, with
+    ``collection=True``, ``collection("pattern")``: every stored
+    document whose name matches the shell-style pattern, in
+    registration order."""
 
     name: str
+    collection: bool = False
 
     def __str__(self) -> str:
+        if self.collection:
+            return f'collection("{self.name}")'
         return f'doc("{self.name}")'
 
 

@@ -232,10 +232,11 @@ def _parse_call(s: Scanner, name: str) -> ast.Expr:
             if s.take(")"):
                 break
             s.expect(",")
-    if name in ("doc", "document"):
+    if name in ("doc", "document", "collection"):
         if len(args) != 1 or not isinstance(args[0], ast.Literal):
             raise s.error(f"{name}() expects one string literal")
-        return ast.DocCall(str(args[0].value))
+        return ast.DocCall(str(args[0].value),
+                           collection=(name == "collection"))
     return ast.FuncCall(name, tuple(args))
 
 

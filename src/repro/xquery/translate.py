@@ -121,6 +121,11 @@ class _Translator:
                                     ColumnOrigin | None, bool]:
         """Translate a for-clause range; returns (scalar, item origin,
         holds-atomized-values)."""
+        if isinstance(source, ast.DocCall) and source.collection:
+            # for $d in collection("pat"): one binding per matching
+            # document root, in registration (= document) order.
+            return (S.CollectionAccess(source.name),
+                    ColumnOrigin(source.name, ()), False)
         if isinstance(source, ast.PathExpr):
             expr, origin = self._translate_path(source)
             return expr, origin, False
@@ -140,6 +145,14 @@ class _Translator:
         var = clause.var
         if isinstance(value, ast.DocCall):
             origin = ColumnOrigin(value.name, ())
+            if value.collection:
+                item_attr = f"{var}_i"
+                self.variables[var] = VarInfo("sequence", origin,
+                                              item_attr=item_attr)
+                return Map(plan, var,
+                           S.TupledSeq(S.CollectionAccess(value.name),
+                                       item_attr),
+                           origin=origin, item_attr=item_attr)
             self.variables[var] = VarInfo("doc", origin)
             return Map(plan, var, S.DocAccess(value.name), origin=origin)
         if isinstance(value, ast.FLWR):
@@ -186,9 +199,16 @@ class _Translator:
     def _translate_path(self, expr: ast.PathExpr
                         ) -> tuple[S.ScalarExpr, ColumnOrigin | None]:
         source = expr.source
-        if isinstance(source, ast.DocCall):
-            base: S.ScalarExpr = S.DocAccess(source.name)
-            base_origin: ColumnOrigin | None = ColumnOrigin(source.name, ())
+        if isinstance(source, ast.DocCall) and source.collection:
+            # collection("pat")//x: the roots are only known at
+            # execution time, so no static root-step strip — the
+            # dynamic collapse in ``_path_context`` covers it.
+            base: S.ScalarExpr = S.CollectionAccess(source.name)
+            base_origin: ColumnOrigin | None = ColumnOrigin(source.name,
+                                                            ())
+        elif isinstance(source, ast.DocCall):
+            base = S.DocAccess(source.name)
+            base_origin = ColumnOrigin(source.name, ())
             expr = ast.PathExpr(source,
                                 self._strip_root_step(source.name,
                                                       expr.path))
@@ -305,6 +325,8 @@ class _Translator:
         if isinstance(expr, ast.Literal):
             return S.Const(expr.value)
         if isinstance(expr, ast.DocCall):
+            if expr.collection:
+                return S.CollectionAccess(expr.name)
             return S.DocAccess(expr.name)
         if isinstance(expr, ast.PathExpr):
             scalar, _ = self._translate_path(expr)

@@ -185,11 +185,14 @@ def test_saturation_rejects_with_503_and_retry_after(server):
     server.server.before_execute = lambda: gate.wait(15)
     try:
         results: list[tuple] = []
+        # Structurally distinct queries: identical plans would now
+        # single-flight coalesce instead of occupying two workers.
+        occupiers = [TITLES_QUERY,
+                     'for $a in doc("bib.xml")//author return $a']
 
         def occupy(i: int) -> None:
             results.append(server.post(
-                {"query": TITLES_QUERY + " " * (i + 1),
-                 "timeout": None}))
+                {"query": occupiers[i], "timeout": None}))
 
         workers = [threading.Thread(target=occupy, args=(i,))
                    for i in range(2)]
@@ -213,6 +216,53 @@ def test_saturation_rejects_with_503_and_retry_after(server):
         "occupying requests must complete once the gate opens"
     _, stats = server.get("/stats")
     assert stats["server"]["rejected_total"] >= 1
+
+
+def test_single_flight_coalescing(server):
+    """Identical in-flight requests (same plan digest + document
+    versions) execute once: followers share the leader's outcome and
+    show up in the ``coalesced_total`` counter."""
+    gate = threading.Event()
+    entered = threading.Event()
+
+    def hold() -> None:
+        entered.set()
+        gate.wait(15)
+
+    server.server.before_execute = hold
+    # Result-cache-cold shape; trailing comment makes the *text*
+    # differ per follower while the plan digest stays identical —
+    # coalescing keys on the work, not the bytes.
+    query = ('for $t in doc("bib.xml")//title '
+             'return <coalesce>{$t}</coalesce>')
+    base = server.server.coalesced_total
+    results: list[tuple] = []
+    threads = [threading.Thread(
+        target=lambda q=q: results.append(server.post({"query": q})))
+        for q in (query, query, query + " (: follower :)")]
+    try:
+        threads[0].start()
+        assert entered.wait(10), "leader never reached execution"
+        # Fire followers one at a time so the short acquire→coalesce→
+        # release window never overlaps (queue_depth=0 would 503).
+        for count, thread in enumerate(threads[1:], start=1):
+            thread.start()
+            deadline = time.monotonic() + 10
+            while server.server.coalesced_total < base + count:
+                assert time.monotonic() < deadline, \
+                    "request did not coalesce"
+                time.sleep(0.01)
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=15)
+    finally:
+        gate.set()
+        server.server.before_execute = None
+    assert len(results) == 3
+    assert all(status == 200 for status, _, _ in results)
+    assert len({payload["output"] for _, payload, _ in results}) == 1
+    _, stats = server.get("/stats")
+    assert stats["server"]["coalesced_total"] >= base + 2
 
 
 def test_admission_controller_counts():
@@ -265,10 +315,11 @@ def test_cli_client_mode_saturated_exit_code(server, capsys):
     gate = threading.Event()
     server.server.before_execute = lambda: gate.wait(15)
     try:
+        occupiers = [TITLES_QUERY,
+                     'for $a in doc("bib.xml")//author return $a']
         workers = [threading.Thread(
             target=lambda i=i: server.post(
-                {"query": TITLES_QUERY + "  " * (i + 1),
-                 "timeout": None}))
+                {"query": occupiers[i], "timeout": None}))
             for i in range(2)]
         for worker in workers:
             worker.start()
