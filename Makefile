@@ -29,9 +29,10 @@ bench-check:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_q11_vectorized.py 4000 20000 /tmp/bench-q11.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_q12_serve.py 100 500 /tmp/bench-q12.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_q13_parallel.py 1200 19200 /tmp/bench-q13.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_q14_updates.py 4000 /tmp/bench-q14.json
 	PYTHONPATH=src $(PYTHON) benchmarks/trajectory.py check \
 		/tmp/bench-q7.json /tmp/bench-q8.json /tmp/bench-q9.json /tmp/bench-q10.json \
-		/tmp/bench-q11.json /tmp/bench-q12.json /tmp/bench-q13.json
+		/tmp/bench-q11.json /tmp/bench-q12.json /tmp/bench-q13.json /tmp/bench-q14.json
 
 # Fail when a module under src/repro/ lacks a module docstring or a
 # docs/*.md intra-repo link points at a missing file/anchor.

@@ -47,6 +47,7 @@ CI_RUNS = (
     ("bench_q11_vectorized.py", ("4000", "20000")),
     ("bench_q12_serve.py", ("100", "500")),
     ("bench_q13_parallel.py", ("1200", "19200")),
+    ("bench_q14_updates.py", ("4000",)),
 )
 
 

@@ -50,6 +50,7 @@ from repro.optimizer.access_paths import apply_access_paths
 from repro.optimizer.cost import CostModel, PlanCost
 from repro.optimizer.pushdown import push_selections, reassociate_left
 from repro.optimizer.rewriter import RewriteResult, unnest_plan
+from repro.xmldb import Delete, Insert, Replace, StoreSnapshot
 
 __version__ = "1.0.0"
 
@@ -76,5 +77,9 @@ __all__ = [
     "ReproError",
     "RewriteResult",
     "unnest_plan",
+    "Insert",
+    "Delete",
+    "Replace",
+    "StoreSnapshot",
     "__version__",
 ]

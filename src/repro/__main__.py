@@ -240,6 +240,27 @@ def stats_main(argv: list[str]) -> int:
         print("  depth histogram (elements per level):")
         for level, count in stats["depth_histogram"].items():
             print(f"    level {level:<3} {count}")
+        version = document.version_stats()
+        counts = version["delta_counts"]
+        print("  version chain:")
+        print(f"    version             : {version['version']} "
+              f"(seq {version['seq']})")
+        print(f"    base rows           : {version['base_rows']} "
+              f"(current {version['rows']})")
+        print(f"    delta ops           : "
+              f"insert {counts['insert']}, "
+              f"delete {counts['delete']}, "
+              f"replace {counts['replace']}")
+        print(f"    chain length        : {version['chain_length']}")
+        print(f"    compaction watermark: "
+              f"{version['compaction_watermark']}")
+        for entry in version["delta_chain"]:
+            ops = entry["ops"]
+            print(f"      v{entry['version']:<4} "
+                  f"rows {entry['rows']:<8} "
+                  f"+{ops['insert']} ins "
+                  f"-{ops['delete']} del "
+                  f"~{ops['replace']} rep")
         return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -40,8 +40,10 @@ class Database:
     access paths; ``"eager"`` builds them at registration time.
     """
 
-    def __init__(self, index_mode: str = "off"):
-        self.store = DocumentStore(index_mode=index_mode)
+    def __init__(self, index_mode: str = "off",
+                 compact_every: int = 16):
+        self.store = DocumentStore(index_mode=index_mode,
+                                   compact_every=compact_every)
 
     @property
     def index_mode(self) -> str:
@@ -82,6 +84,26 @@ class Database:
         long-lived processes can rotate documents without leaking
         memory).  Plans compiled against the document become invalid."""
         self.store.unregister(name)
+
+    def update(self, name: str, ops) -> Document:
+        """Apply delta operations (:class:`~repro.xmldb.delta.Insert`,
+        :class:`~repro.xmldb.delta.Delete`,
+        :class:`~repro.xmldb.delta.Replace`, or a list of them) to a
+        registered document and publish the result as a new immutable
+        version.  Readers holding the old version — or a
+        :meth:`snapshot` — keep seeing the pre-update state; indexes
+        are maintained incrementally from the splice records.  Returns
+        the new current :class:`~repro.xmldb.document.Document`."""
+        return self.store.update(name, ops)
+
+    def snapshot(self):
+        """Pin the current version of every document: the returned
+        :class:`~repro.xmldb.document.StoreSnapshot` keeps resolving
+        names to the versions current *now*, regardless of later
+        :meth:`update` calls.  Pass it as ``snapshot=`` to
+        :meth:`~repro.session.Session.execute` (or execute plans
+        against it directly) for repeatable reads across queries."""
+        return self.store.snapshot()
 
     # ------------------------------------------------------------------
     def execute(self, plan: Operator, mode: str = "physical",

@@ -36,7 +36,7 @@ import pathlib
 THRESHOLD = 0.20
 
 #: identifying (non-metric) fields of a benchmark record, in key order
-PARAM_KEYS = ("query", "items", "bids")
+PARAM_KEYS = ("query", "items", "bids", "updates")
 
 #: per-query gated metrics and their good direction.  Only
 #: machine-independent metrics appear here — see the module docstring.
@@ -68,6 +68,12 @@ GATE_RULES: dict[str, dict[str, str]] = {
     # noise floor — 1-CPU hosts measure ~1x by construction.
     "q13_parallel": {"speedup": "higher",
                      "parallel_tasks": "lower"},
+    # q14 gates the incremental-update path: the update-vs-full-
+    # re-registration ratio (same-machine, so machine-independent)
+    # and the exact incremental-apply counter — one index apply per
+    # update, or the path silently fell back to rebuilding.
+    "q14_updates": {"update_speedup": "higher",
+                    "incremental_applies": "lower"},
 }
 
 #: speedup ratios whose baseline is below this are not gated: a

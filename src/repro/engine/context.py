@@ -23,7 +23,10 @@ from repro.xmldb.document import DocumentStore, ScanStats
 class EvalContext:
     """Carries everything operator evaluation needs:
 
-    - ``store`` — the document store ``doc("...")`` resolves against;
+    - ``store`` — what ``doc("...")`` resolves against: the
+      :class:`~repro.xmldb.document.StoreSnapshot` the executor pinned
+      at entry, so every lookup during this request sees one consistent
+      set of document versions regardless of concurrent updates;
     - ``stats`` — scan statistics for *this* evaluation.
       :func:`~repro.engine.executor.execute` passes a fresh
       request-scoped :class:`~repro.xmldb.document.ScanStats` so two

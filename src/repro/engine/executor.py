@@ -92,7 +92,13 @@ def execute(plan: Operator, store: DocumentStore,
             tracer=None, metrics=None,
             timeout: float | None = None,
             workers: int | None = None) -> ExecutionResult:
-    """Execute a plan against a document store.
+    """Execute a plan against a document store (or an already-pinned
+    :class:`~repro.xmldb.document.StoreSnapshot`).
+
+    The execution runs against a snapshot taken at entry: concurrent
+    ``DocumentStore.update()`` calls publish new document versions, but
+    this query keeps reading the versions it pinned (MVCC snapshot
+    isolation — see ``docs/updates.md``).
 
     ``mode="physical"`` uses the hash-based engine (the default; what the
     benchmarks measure); ``mode="pipelined"`` uses the generator-based
@@ -139,6 +145,11 @@ def execute(plan: Operator, store: DocumentStore,
         raise ValueError(f"unknown execution mode {mode!r}")
     workers = resolve_workers(workers,
                               explicit_parallel=(mode == "parallel"))
+    # Pin a snapshot for the whole execution: every document name the
+    # plan touches resolves to the version current *now*, so concurrent
+    # DocumentStore.update() calls cannot tear this query across
+    # versions.  (An already-pinned StoreSnapshot pins to itself.)
+    store = store.snapshot()
     if mode == "auto":
         from repro.optimizer.cost import preferred_mode
         mode = preferred_mode(plan, store, workers=workers)

@@ -49,6 +49,7 @@ import heapq
 import multiprocessing
 import os
 import pickle
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -381,33 +382,55 @@ class WorkerPool:
     """A lazily-spawned, reusable pool of query workers bound to one
     :class:`~repro.xmldb.document.DocumentStore`.
 
-    The pool owns the store's shared-memory exports: it creates them
-    on first use, re-exports when a document is re-registered, and
-    unlinks them when the document is unregistered, when the pool
-    shuts down (``Database.close()``) and at interpreter exit."""
+    The pool owns the store's shared-memory exports, keyed by document
+    *version* ``(name, seq)``: it creates them on first use, exports
+    further versions as updates publish them (a query pinned to an old
+    snapshot re-exports its version on demand), and unlinks superseded
+    versions' segments on store change, at pool shutdown
+    (``Database.close()``) and at interpreter exit.
+
+    One :class:`threading.Lock` serializes the entire scatter/gather of
+    a query against the store-listener callbacks: an update arriving
+    mid-query waits for the query's workers to finish, so a segment is
+    never unlinked between the moment a task referencing it was
+    dispatched and the moment its worker replied (pipe order then
+    guarantees the worker processed the ``sync`` — and attached the
+    segment — before it sees the ``drop``)."""
 
     def __init__(self, store):
         self.store = store
         self._mp = multiprocessing.get_context("spawn")
         self.workers: list[_Worker] = []
-        self._exports: dict[str, object] = {}
+        self._exports: dict[tuple[str, int], object] = {}
+        self._lock = threading.Lock()
         store.add_listener(self._on_store_change)
 
     # -- lifecycle -----------------------------------------------------
     def _on_store_change(self, event: str, name: str) -> None:
-        # Both register (a rotation under the same name) and
-        # unregister invalidate the export; workers drop their stale
-        # attachment before the parent unlinks the segment at the
-        # next sync (messages are processed in pipe order).
-        export = self._exports.pop(name, None)
-        if export is not None:
+        # Register (a rotation under the same name), update and
+        # unregister all supersede previously exported versions of the
+        # name; only an export matching the store's *current* version
+        # survives.  Workers drop their stale attachment before the
+        # parent unlinks the segment (messages are processed in pipe
+        # order, and the pool lock keeps in-flight queries ahead of
+        # this callback).
+        with self._lock:
+            current = self.store.get(name).seq if name in self.store \
+                else None
+            doomed = [key for key in self._exports
+                      if key[0] == name and key[1] != current]
+            if not doomed:
+                return
+            stale_seqs = {key[1] for key in doomed}
             for worker in self.workers:
-                if worker.attached.pop(name, None) is not None:
+                if worker.attached.get(name) in stale_seqs:
+                    worker.attached.pop(name, None)
                     try:
                         worker.conn.send(("drop", name))
                     except (OSError, ValueError):
                         pass
-            export.close()
+            for key in doomed:
+                self._exports.pop(key).close()
 
     def ensure_size(self, count: int) -> None:
         while len(self.workers) < count:
@@ -460,23 +483,31 @@ class WorkerPool:
             pass
 
     # -- document sync -------------------------------------------------
-    def _export_for(self, name: str):
+    def _export_for(self, document):
+        """The shared-memory export of one pinned document version,
+        created on demand — including re-creation for an old version a
+        snapshot still holds after its export was dropped (the pinned
+        :class:`~repro.xmldb.document.Document` is the source of truth,
+        so the fresh export is identical to the dropped one)."""
         from repro.xmldb.shm import export_document
 
-        document = self.store.get(name)
-        export = self._exports.get(name)
-        if export is not None and export.seq != document.seq:
-            self._on_store_change("register", name)
-            export = None
+        key = (document.name, document.seq)
+        export = self._exports.get(key)
         if export is None:
             export = export_document(document)
-            self._exports[name] = export
+            self._exports[key] = export
         return export
 
-    def sync_worker(self, worker: _Worker, names) -> None:
+    def sync_worker(self, worker: _Worker, names, resolver=None) -> None:
+        """Attach ``names`` in ``worker`` at the versions ``resolver``
+        (the executing query's pinned snapshot; the live store when
+        absent) resolves them to.  A worker holding another version of
+        a name swaps it out — version choice is per query, and the
+        worker-side store keys by name."""
+        resolver = self.store if resolver is None else resolver
         manifests = []
         for name in names:
-            export = self._export_for(name)
+            export = self._export_for(resolver.get(name))
             if worker.attached.get(name) != export.seq:
                 manifests.append(export.manifest)
                 worker.attached[name] = export.seq
@@ -508,37 +539,42 @@ class WorkerPool:
         return [payload for _, payload in replies]
 
     def _scatter_gather(self, tasks, ctx) -> list:
-        try:
+        # The pool lock is held for the whole scatter/gather: it keeps
+        # the store-change listener from unlinking a segment a
+        # dispatched task still needs, and serializes concurrent
+        # parallel queries over the shared worker pipes.
+        with self._lock:
+            try:
+                for index, task in enumerate(tasks):
+                    worker = self.workers[index]
+                    self.sync_worker(worker, task["docs"], ctx.store)
+                    worker.conn.send(("task", {"plan": task["plan"],
+                                               "mode": task.get("mode"),
+                                               "crash": task["crash"]}))
+            except (OSError, ValueError, BrokenPipeError) as exc:
+                raise ParallelExecutionError(
+                    f"lost a parallel worker while dispatching: {exc}") \
+                    from exc
+            replies = []
             for index, task in enumerate(tasks):
                 worker = self.workers[index]
-                self.sync_worker(worker, task["docs"])
-                worker.conn.send(("task", {"plan": task["plan"],
-                                           "mode": task.get("mode"),
-                                           "crash": task["crash"]}))
-        except (OSError, ValueError, BrokenPipeError) as exc:
-            raise ParallelExecutionError(
-                f"lost a parallel worker while dispatching: {exc}") \
-                from exc
-        replies = []
-        for index, task in enumerate(tasks):
-            worker = self.workers[index]
-            with maybe_span(ctx.tracer, f"parallel.task[{index}]",
-                            "parallel", docs=",".join(task["docs"])):
-                try:
-                    while not worker.conn.poll(0.05):
-                        if ctx.deadline is not None:
-                            ctx.check_deadline()
-                        if not worker.process.is_alive() \
-                                and not worker.conn.poll(0):
-                            raise EOFError("worker process died")
-                    replies.append(worker.conn.recv())
-                except (EOFError, OSError,
-                        pickle.UnpicklingError) as exc:
-                    raise ParallelExecutionError(
-                        f"parallel worker {index} died mid-query "
-                        f"({exc}); the pool has been discarded and "
-                        "will respawn on the next query") from exc
-        return replies
+                with maybe_span(ctx.tracer, f"parallel.task[{index}]",
+                                "parallel", docs=",".join(task["docs"])):
+                    try:
+                        while not worker.conn.poll(0.05):
+                            if ctx.deadline is not None:
+                                ctx.check_deadline()
+                            if not worker.process.is_alive() \
+                                    and not worker.conn.poll(0):
+                                raise EOFError("worker process died")
+                        replies.append(worker.conn.recv())
+                    except (EOFError, OSError,
+                            pickle.UnpicklingError) as exc:
+                        raise ParallelExecutionError(
+                            f"parallel worker {index} died mid-query "
+                            f"({exc}); the pool has been discarded and "
+                            "will respawn on the next query") from exc
+            return replies
 
 
 #: one active pool per process, keyed by its store — serving binds one
@@ -653,7 +689,9 @@ def run_parallel(plan: Operator, ctx, workers: int) -> list[Tup]:
               "crash": _CRASH_TASK == index}
              for index, (blob, docs)
              in enumerate(zip(pickles, task_docs))]
-    pool = get_pool(ctx.store)
+    # Pool identity follows the *live* store; the snapshot pinned in
+    # ctx.store only decides which document versions the tasks attach.
+    pool = get_pool(getattr(ctx.store, "store", ctx.store))
     with maybe_span(ctx.tracer, "parallel.scatter-gather", "parallel",
                     strategy=pp.strategy, tasks=len(tasks),
                     merge=merge):

@@ -73,18 +73,23 @@ class UnknownDocumentError(EvaluationError):
 
 
 class FrozenDocumentError(ReproError):
-    """Raised on mutation of a document finalized into an arena.
+    """Raised on in-place mutation of a document finalized into an
+    arena.
 
-    Registration freezes a document's tree: the string-value cache, the
-    interval encoding and the optimizer's schema facts all assume the
-    text and structure never change afterwards.
+    Registration freezes a document version's tree: the string-value
+    cache, the interval encoding and the optimizer's schema facts all
+    assume the text and structure of *that version* never change.  Live
+    data is still supported — ``DocumentStore.update(name, ops)``
+    splices insert/delete/replace-subtree operations into a brand-new
+    version while readers keep the old one (see ``docs/updates.md``).
     """
 
     def __init__(self, document_name: str):
         super().__init__(
-            f"document {document_name!r} is finalized; trees are "
-            f"immutable once registered (build a new tree and register "
-            f"it under a fresh name instead)")
+            f"document {document_name!r} is finalized; versions are "
+            f"immutable once registered — apply changes through "
+            f"DocumentStore.update(name, ops), which publishes a new "
+            f"copy-on-write version instead of mutating this one")
         self.document_name = document_name
 
 

@@ -59,7 +59,16 @@ def build_indexes(document) -> DocumentIndexes:
 
 
 class IndexManager:
-    """Builds, caches and probes the indexes of one document store."""
+    """Builds, caches and probes the indexes of one document store.
+
+    Indexes are cached per document *version* — keyed ``(name, seq)`` —
+    so a query pinned to an old version probes structures that describe
+    exactly what it reads.  :meth:`on_update` maintains the current
+    version's indexes *incrementally* from the update's splice records
+    (:meth:`~repro.index.structural.PathIndex.with_records` /
+    :meth:`~repro.index.value.ValueIndex.with_records`) instead of
+    rebuilding; :attr:`incremental_applies` / :attr:`full_builds` count
+    which path was taken."""
 
     def __init__(self, store, mode: str = "off"):
         if mode not in MODES:
@@ -67,8 +76,14 @@ class IndexManager:
                              f"{MODES}")
         self.store = store
         self.mode = mode
-        self._built: dict[str, DocumentIndexes] = {}
+        self._built: dict[tuple[str, int], DocumentIndexes] = {}
         self._estimates: dict[IndexProbe, int] = {}
+        #: updates whose indexes were spliced forward from the previous
+        #: version's (vs rebuilt from the arena)
+        self.incremental_applies = 0
+        #: from-scratch index builds (registration, lazy first probe,
+        #: or an update arriving before any index existed)
+        self.full_builds = 0
 
     @property
     def enabled(self) -> bool:
@@ -80,23 +95,71 @@ class IndexManager:
     # ------------------------------------------------------------------
     def on_register(self, document) -> None:
         if self.mode == "eager":
-            self._built[document.name] = build_indexes(document)
+            self.for_version(document)
 
     def on_unregister(self, name: str) -> None:
-        self._built.pop(name, None)
+        for key in [k for k in self._built if k[0] == name]:
+            del self._built[key]
         self._estimates = {probe: size for probe, size
                            in self._estimates.items()
                            if probe.doc != name}
 
+    def on_update(self, old, new, records) -> None:
+        """Roll the document's indexes forward to the new version.
+
+        If the old version's indexes exist they are spliced forward
+        from the update's records (new index objects — the old entry is
+        dropped, never mutated, so concurrent probes against it stay
+        sound); otherwise the new version builds lazily/eagerly exactly
+        as a fresh registration would.  Planning-time cardinality
+        memos for the document are flushed either way."""
+        name = new.name
+        self._estimates = {probe: size for probe, size
+                           in self._estimates.items()
+                           if probe.doc != name}
+        entry = self._built.pop((name, old.seq), None)
+        for key in [k for k in self._built if k[0] == name]:
+            del self._built[key]
+        if entry is not None:
+            self._built[(name, new.seq)] = \
+                self._apply_records(entry, new, records)
+            self.incremental_applies += 1
+        elif self.mode == "eager":
+            self.for_version(new)
+
+    def _apply_records(self, entry: DocumentIndexes, document,
+                       records) -> DocumentIndexes:
+        arena = document.arena
+        path_index, touched = entry.path.with_records(records, arena)
+        value_touched = set(touched)
+        for record in records:
+            value_touched.add(record.parent_path)
+        value_index = entry.value.with_records(records, arena,
+                                               path_index, value_touched)
+        violations: tuple[TagPath, ...] = ()
+        if document.dtd is not None:
+            violations = path_index.validate_against_dtd(document.dtd)
+        return DocumentIndexes(ElementIndex(document.root, arena),
+                               path_index, value_index, violations)
+
     def built(self, name: str) -> bool:
-        return name in self._built
+        return any(key[0] == name for key in self._built)
 
     def for_document(self, name: str) -> DocumentIndexes:
-        """The document's indexes, building them if necessary (explicit
-        calls build even under mode="off" — asking is opting in)."""
-        if name not in self._built:
-            self._built[name] = build_indexes(self.store.get(name))
-        return self._built[name]
+        """The current version's indexes, building them if necessary
+        (explicit calls build even under mode="off" — asking is opting
+        in)."""
+        return self.for_version(self.store.get(name))
+
+    def for_version(self, document) -> DocumentIndexes:
+        """Indexes of one pinned document version, built on demand."""
+        key = (document.name, document.seq)
+        entry = self._built.get(key)
+        if entry is None:
+            entry = build_indexes(document)
+            self._built[key] = entry
+            self.full_builds += 1
+        return entry
 
     def dtd_violations(self, name: str) -> tuple[TagPath, ...]:
         return self.for_document(name).dtd_violations
@@ -104,11 +167,16 @@ class IndexManager:
     # ------------------------------------------------------------------
     # Probing
     # ------------------------------------------------------------------
-    def probe(self, probe: IndexProbe, stats=None) -> list[Node]:
+    def probe(self, probe: IndexProbe, stats=None,
+              document=None) -> list[Node]:
         """Answer a probe; results are in document order.  ``stats``
         (a :class:`~repro.xmldb.document.ScanStats`) receives one
-        ``index_probe`` plus one visit per result node."""
-        indexes = self.for_document(probe.doc)
+        ``index_probe`` plus one visit per result node.  ``document``
+        pins the probe to one version (snapshot executions pass their
+        pinned :class:`~repro.xmldb.document.Document`); without it the
+        store's current version answers."""
+        indexes = self.for_version(document) if document is not None \
+            else self.for_document(probe.doc)
         if probe.kind == "element":
             nodes = indexes.element.lookup(probe.steps[0][1])
         elif probe.kind == "path":
@@ -152,8 +220,9 @@ class IndexManager:
         lifted or sorted, so pricing a probe the planner then discards
         stays cheap.  For lifted value probes the count skips the
         ancestor dedup (an upper bound, which only overprices the
-        index side).  Memoized per probe; documents are immutable
-        while registered, and the memo holds small ints."""
+        index side).  Memoized per probe; document versions are
+        immutable and :meth:`on_update` flushes the changed document's
+        memos, so entries never go stale."""
         if probe not in self._estimates:
             if len(self._estimates) >= 4096:   # planning-only cache
                 self._estimates.clear()

@@ -32,6 +32,7 @@ would silently invalidate the optimizer's schema-based side conditions.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from functools import lru_cache
 
 from repro.xmldb.arena import Arena, arena_for
@@ -113,6 +114,67 @@ class PathIndex:
         """Cardinality of :meth:`lookup` without the merge and sort."""
         return sum(len(self._by_path[path])
                    for path in self.matching_paths(steps))
+
+    def rows_at(self, path: TagPath) -> list[int]:
+        """The raw pre-id list at one stored path (shared, do not
+        mutate) — the value index's incremental rebuild reads it."""
+        return self._by_path.get(path, [])
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def with_records(self, records, arena: Arena
+                     ) -> tuple["PathIndex", set[TagPath]]:
+        """A new :class:`PathIndex` for the document version produced
+        by replaying ``records`` (:class:`~repro.xmldb.delta.
+        SpliceRecord` sequence) on the version this index describes,
+        plus the set of paths whose row membership changed.
+
+        Each record turns into pure pre-id arithmetic on the sorted row
+        lists: rows inside the spliced window drop out (one bisect pair
+        per path), surviving rows past it shift by the record's size
+        delta (a slice copy), and the patch subtree's paths — each a
+        contiguous, already-sorted pre block at ``pos + patch_pre``
+        under the ``parent_path`` prefix — splice in at their bisect
+        position.  No arena walk, no re-hashing of untouched paths.
+        ``self`` is left untouched: readers pinned to the old version
+        keep probing the old index."""
+        by_path = dict(self._by_path)
+        touched: set[TagPath] = set()
+        for rec in records:
+            pos, w_end, shift = rec.pos, rec.window_end, rec.shift
+            if shift or rec.removed:
+                shifted: dict[TagPath, list[int]] = {}
+                for path, rows in by_path.items():
+                    lo = bisect_left(rows, pos)
+                    hi = bisect_left(rows, w_end) if rec.removed else lo
+                    if hi > lo:
+                        touched.add(path)
+                    if shift:
+                        rows = rows[:lo] + [r + shift for r in rows[hi:]]
+                    elif hi > lo:
+                        rows = rows[:lo] + rows[hi:]
+                    if rows:
+                        shifted[path] = rows
+                by_path = shifted
+            if rec.patch is not None:
+                inserted: dict[TagPath, list[int]] = {}
+                for patch_pre, patch_path in rec.patch.iter_paths():
+                    full = rec.parent_path + patch_path
+                    inserted.setdefault(full, []).append(pos + patch_pre)
+                for full, block in inserted.items():
+                    rows = by_path.get(full)
+                    if rows is None:
+                        by_path[full] = block
+                    else:
+                        at = bisect_left(rows, pos)
+                        by_path[full] = rows[:at] + block + rows[at:]
+                    touched.add(full)
+        clone = PathIndex.__new__(PathIndex)
+        clone._arena = arena
+        clone._by_path = by_path
+        clone._match = lru_cache(maxsize=4096)(_pattern_matches)
+        return clone, touched
 
     # ------------------------------------------------------------------
     def validate_against_dtd(self, dtd: DTD) -> tuple[TagPath, ...]:

@@ -29,7 +29,7 @@ results are byte-identical to scan plans across randomized documents.
 from __future__ import annotations
 
 import math
-from bisect import bisect_left, bisect_right
+from bisect import bisect_left, bisect_right, insort
 from typing import Any
 
 from repro.errors import EvaluationError
@@ -77,6 +77,76 @@ class _PathValues:
 
     def __len__(self) -> int:
         return len(self.all_keys)
+
+    def _remapped(self, remap) -> "_PathValues":
+        """Clone with every pre id pushed through ``remap`` (a strictly
+        increasing map — splice shifts).  Keys and their sort order are
+        untouched, so the key arrays are shared, and monotonicity keeps
+        the pre tie-break order inside equal keys valid."""
+        clone = _PathValues.__new__(_PathValues)
+        clone.by_key = {key: [remap(p) for p in pres]
+                        for key, pres in self.by_key.items()}
+        clone.num_keys = self.num_keys
+        clone.num_pres = [remap(p) for p in self.num_pres]
+        clone.text_keys = self.text_keys
+        clone.text_pres = [remap(p) for p in self.text_pres]
+        clone.all_keys = self.all_keys
+        clone.all_pres = [remap(p) for p in self.all_pres]
+        return clone
+
+    def _spliced(self, survivors: dict[int, int],
+                 inserted: list[tuple[str, int]]) -> "_PathValues":
+        """Clone for a membership change at this path: old pres absent
+        from ``survivors`` (old pre → new pre, strictly increasing over
+        its domain) are dropped, the rest remapped, and ``inserted``
+        ``(text, new pre)`` entries merged into the sorted views.  The
+        surviving entries' *values* are untouched by construction (the
+        caller only takes this route when no splice anchored inside
+        this path), so their keys — the expensive part of a rebuild —
+        are reused verbatim."""
+        clone = _PathValues.__new__(_PathValues)
+        clone.by_key = {}
+        for key, pres in self.by_key.items():
+            kept = [survivors[p] for p in pres if p in survivors]
+            if kept:
+                clone.by_key[key] = kept
+        drop = len(survivors) < len(self.all_pres)
+        if drop:
+            num = [(k, survivors[p]) for k, p
+                   in zip(self.num_keys, self.num_pres)
+                   if p in survivors]
+            text = [(k, survivors[p]) for k, p
+                    in zip(self.text_keys, self.text_pres)
+                    if p in survivors]
+            allv = [(k, survivors[p]) for k, p
+                    in zip(self.all_keys, self.all_pres)
+                    if p in survivors]
+            clone.num_keys = [e[0] for e in num]
+            clone.num_pres = [e[1] for e in num]
+            clone.text_keys = [e[0] for e in text]
+            clone.text_pres = [e[1] for e in text]
+            clone.all_keys = [e[0] for e in allv]
+            clone.all_pres = [e[1] for e in allv]
+        else:
+            clone.num_keys = list(self.num_keys)
+            clone.num_pres = [survivors[p] for p in self.num_pres]
+            clone.text_keys = list(self.text_keys)
+            clone.text_pres = [survivors[p] for p in self.text_pres]
+            clone.all_keys = list(self.all_keys)
+            clone.all_pres = [survivors[p] for p in self.all_pres]
+        for raw, pre in inserted:
+            if not _is_nan_text(raw):
+                insort(clone.by_key.setdefault(canonical_key(raw), []),
+                       pre)
+            number = _as_number(raw)
+            if number is not None and not math.isnan(number):
+                _insert_pair(clone.num_keys, clone.num_pres,
+                             number, pre)
+            elif number is None:
+                _insert_pair(clone.text_keys, clone.text_pres,
+                             raw, pre)
+            _insert_pair(clone.all_keys, clone.all_pres, raw, pre)
+        return clone
 
 
 class ValueIndex:
@@ -187,6 +257,112 @@ class ValueIndex:
         return _bisect_count(values.num_keys, op, number) + \
             _bisect_count(values.text_keys, op, str(value))
 
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def with_records(self, records, arena: Arena, path_index,
+                     touched: set[TagPath]) -> "ValueIndex":
+        """A new :class:`ValueIndex` for the version produced by
+        replaying ``records``, given the already-updated ``path_index``
+        and the set of ``touched`` paths (paths whose rows or values may
+        differ: the path index's membership changes plus each record's
+        ``parent_path``).
+
+        Untouched paths keep their sorted structures — pre ids are
+        remapped through the composed splice shifts, key arrays shared
+        outright — which skips exactly the expensive part of a rebuild
+        (``string_value`` extraction, canonical-key hashing and three
+        sorts per path).
+
+        Touched paths split in two:
+
+        - A record's ``parent_path`` (the splice anchor's path, and the
+          only indexed path whose *values* can change without its rows
+          changing — elements above the anchor have element children by
+          construction and were never indexed), and paths not indexed
+          in the old version, are rebuilt from the new arena with a
+          full atomicity re-check: an insert under a previously atomic
+          element can flip it non-atomic and de-index the path, and a
+          delete can do the reverse.
+        - Every other membership-touched path is maintained
+          *differentially*: old entries inside a splice window are
+          dropped, the rest shift (their subtrees are untouched, so
+          their values — and the sorted key arrays — carry over), and
+          only the patch's rows at the path have values extracted and
+          merged in.  An inserted non-atomic row de-indexes the path,
+          exactly as a scratch build would.
+
+        Differential tests pin both routes byte-identical to building
+        from the new arena directly.
+        """
+        def survive(pre: int):
+            """Old pre → new pre, or None if a splice removed the row
+            (windows checked per record, in its own intermediate
+            coordinates — the same composition ``_remapped`` uses)."""
+            for rec in records:
+                if rec.pos <= pre < rec.window_end:
+                    return None
+                if pre >= rec.window_end:
+                    pre += rec.shift
+            return pre
+
+        def remap(pre: int) -> int:
+            for rec in records:
+                if pre >= rec.window_end:
+                    pre += rec.shift
+            return pre
+
+        rebuild_paths = {rec.parent_path for rec in records}
+        clone = ValueIndex.__new__(ValueIndex)
+        clone._arena = arena
+        values: dict[TagPath, _PathValues] = {}
+        for path, path_values in self._values.items():
+            if path not in touched:
+                values[path] = path_values._remapped(remap)
+        kinds, child_lists = arena.kinds, arena.child_lists
+
+        def is_atomic(pre: int) -> bool:
+            return kinds[pre] is NodeKind.ATTRIBUTE or not any(
+                c.kind is NodeKind.ELEMENT for c in child_lists[pre])
+
+        for path in touched:
+            rows = path_index.rows_at(path)
+            if not rows:
+                continue
+            old = self._values.get(path)
+            if old is None or path in rebuild_paths:
+                entries: list[tuple[str, int]] = []
+                atomic = True
+                for pre in rows:
+                    if is_atomic(pre):
+                        entries.append((arena.string_value(pre), pre))
+                    else:
+                        atomic = False
+                        break
+                if atomic:
+                    values[path] = _PathValues(entries)
+                continue
+            survivors: dict[int, int] = {}
+            for pre in old.all_pres:
+                new_pre = survive(pre)
+                if new_pre is not None:
+                    survivors[pre] = new_pre
+            carried = set(survivors.values())
+            inserted: list[tuple[str, int]] = []
+            atomic = True
+            for pre in rows:
+                if pre in carried:
+                    continue
+                if is_atomic(pre):
+                    inserted.append((arena.string_value(pre), pre))
+                else:
+                    atomic = False
+                    break
+            if atomic:
+                values[path] = old._spliced(survivors, inserted)
+        clone._values = values
+        return clone
+
     def probe_range(self, path: TagPath, low: Any, high: Any,
                     low_inclusive: bool = True,
                     high_inclusive: bool = True) -> list[Node]:
@@ -203,6 +379,15 @@ class ValueIndex:
 def _is_nan_text(text: str) -> bool:
     number = _as_number(text)
     return number is not None and math.isnan(number)
+
+
+def _insert_pair(keys: list, pres: list[int], key, pre: int) -> None:
+    """Insert one entry into parallel sorted-by-``(key, pre)`` arrays."""
+    idx = bisect_left(keys, key)
+    while idx < len(keys) and keys[idx] == key and pres[idx] < pre:
+        idx += 1
+    keys.insert(idx, key)
+    pres.insert(idx, pre)
 
 
 def _bisect(keys: list, pres: list[int], op: str, bound) -> list[int]:

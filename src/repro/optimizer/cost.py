@@ -86,37 +86,46 @@ PARALLEL_TUPLE_COST = 0.5
 class TagStatistics:
     """Exact per-document tag statistics, read straight off each
     document's arena columns (the per-tag row lists the interval
-    encoding maintains anyway) — no tree walk, no estimation."""
+    encoding maintains anyway) — no tree walk, no estimation.
+
+    Memos are keyed by ``(name, seq)``: resolving a name through the
+    store (or a pinned snapshot) always yields statistics for exactly
+    the version the plan will read, and an update's new version simply
+    misses the memo instead of reading the predecessor's counts."""
 
     def __init__(self, store: DocumentStore):
         self.store = store
-        self._counts: dict[str, dict[str, int]] = {}
-        self._totals: dict[str, int] = {}
-        self._fanouts: dict[str, float] = {}
+        self._counts: dict[tuple[str, int], dict[str, int]] = {}
+        self._totals: dict[tuple[str, int], int] = {}
+        self._fanouts: dict[tuple[str, int], float] = {}
 
-    def _ensure(self, doc_name: str) -> None:
-        if doc_name in self._counts or doc_name not in self.store:
-            return
-        arena = self.store.get(doc_name).arena
-        self._counts[doc_name] = arena.tag_counts()
-        self._totals[doc_name] = arena.element_count
-        self._fanouts[doc_name] = arena.average_fanout()
+    def _key_for(self, doc_name: str) -> tuple[str, int] | None:
+        if doc_name not in self.store:
+            return None
+        document = self.store.get(doc_name)
+        key = (document.name, document.seq)
+        if key not in self._counts:
+            arena = document.arena
+            self._counts[key] = arena.tag_counts()
+            self._totals[key] = arena.element_count
+            self._fanouts[key] = arena.average_fanout()
+        return key
 
     def tag_count(self, doc_name: str, tag: str) -> float:
         """Number of ``tag`` elements in the document (0 if unknown)."""
-        self._ensure(doc_name)
-        return float(self._counts.get(doc_name, {}).get(tag, 0))
+        key = self._key_for(doc_name)
+        return float(self._counts.get(key, {}).get(tag, 0))
 
     def element_count(self, doc_name: str) -> float:
         """Total elements — the cost of one full scan."""
-        self._ensure(doc_name)
-        return float(self._totals.get(doc_name, 0)) or 100.0
+        key = self._key_for(doc_name)
+        return float(self._totals.get(key, 0)) or 100.0
 
     def average_fanout(self, doc_name: str) -> float:
         """Exact mean child-elements per internal element (falls back
         to :data:`DEFAULT_FANOUT` for unknown documents)."""
-        self._ensure(doc_name)
-        return self._fanouts.get(doc_name) or DEFAULT_FANOUT
+        key = self._key_for(doc_name)
+        return self._fanouts.get(key) or DEFAULT_FANOUT
 
 
 @dataclass

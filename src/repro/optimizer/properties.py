@@ -242,7 +242,10 @@ def value_order_guarantee(store: DocumentStore,
 
     Exact, checked once per ``(document, context path, relative path)``
     and cached on the :class:`~repro.xmldb.document.Document` — sound
-    because registered documents are frozen.  Missing values key as
+    because document *versions* are frozen: an update publishes a new
+    version whose cache carries an entry forward only when the splice
+    provably touched none of the tags the key names (so invalidation is
+    per version and per tag set, never global).  Missing values key as
     NULL, which ``sort_key`` ranks least ("empty least"): leading
     empties therefore keep the guarantee (the elided sort would have
     placed them first anyway), while an empty *after* any non-null

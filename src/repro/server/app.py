@@ -9,9 +9,20 @@ JSON out, ``Connection: close`` per exchange.  Three endpoints:
   "timeout": ...}`` (only ``query`` required); executes through the
   shared :class:`~repro.session.Session` and returns ``{"output",
   "rows", "elapsed", "cached", "plan", "mode", "stats"}``.
+- ``POST /update`` — body ``{"document": "...", "ops": [...]}`` where
+  each op is ``{"op": "insert", "parent": pre, "index": i, "xml":
+  "<fragment/>"}``, ``{"op": "delete", "target": pre}`` or ``{"op":
+  "replace", "target": pre, "xml": "<fragment/>"}``; applies the delta
+  through :meth:`~repro.xmldb.document.DocumentStore.update` and
+  returns the new version's chain stats.  Queries already executing
+  keep their pinned snapshot; queries admitted afterwards see the new
+  version.
 - ``GET /healthz`` — liveness.
-- ``GET /stats`` — session cache counters plus server admission
-  counters (requests, rejections, timeouts, coalesced requests).
+- ``GET /stats`` — session cache counters, server admission counters
+  (requests, rejections, timeouts, coalesced requests), update
+  counters, and per-document version info (current ``seq``,
+  ``version``, rows, chain length) plus the store's live snapshot
+  count.
 
 **Single-flight coalescing.**  Before executing, a request's *work
 identity* is computed: canonical plan digest + the referenced
@@ -80,6 +91,8 @@ from repro.errors import (
     XPathError,
     XQueryParseError,
 )
+from repro.xmldb.delta import Delete, DeltaError, Insert, Replace
+from repro.xmldb.parser import parse_document
 
 #: errors that mean "the request's query text is at fault" (HTTP 400) —
 #: checked *after* the document errors below, which subclass some of
@@ -177,6 +190,8 @@ class QueryServer:
         self._server: asyncio.AbstractServer | None = None
         self.requests_total = 0
         self.timeouts_total = 0
+        self.updates_total = 0
+        self.update_errors_total = 0
         #: single-flight coalescing: semantically identical requests
         #: (same plan digest, document versions, mode, label, timeout)
         #: in flight at the same time execute once; followers await the
@@ -221,6 +236,17 @@ class QueryServer:
         self._executor.shutdown(wait=False, cancel_futures=True)
 
     def stats(self) -> dict:
+        store = self.session.database.store
+        documents = {}
+        for name in store.names():
+            doc = store.get(name)
+            documents[name] = {
+                "seq": doc.seq,
+                "version": doc.version,
+                "rows": len(doc.arena.kinds),
+                "chain_length": len(doc.delta_chain),
+                "compaction_watermark": doc.compaction_watermark,
+            }
         return {
             "server": {
                 "requests_total": self.requests_total,
@@ -228,11 +254,15 @@ class QueryServer:
                 "admitted_total": self.admission.admitted_total,
                 "timeouts_total": self.timeouts_total,
                 "coalesced_total": self.coalesced_total,
+                "updates_total": self.updates_total,
+                "update_errors_total": self.update_errors_total,
                 "active": self.admission.active,
                 "queued": self.admission.queued,
                 "max_concurrency": self.admission.max_concurrency,
                 "queue_depth": self.admission.queue_depth,
             },
+            "documents": documents,
+            "live_snapshots": store.live_snapshot_count(),
             **self.session.cache_stats(),
         }
 
@@ -323,6 +353,11 @@ class QueryServer:
                 return 405, {"error": "use POST /query",
                              "kind": "bad-request"}
             return await self._handle_query(body)
+        if path == "/update":
+            if method != "POST":
+                return 405, {"error": "use POST /update",
+                             "kind": "bad-request"}
+            return await self._handle_update(body)
         return 404, {"error": f"no route {method} {path}",
                      "kind": "bad-request"}
 
@@ -408,6 +443,88 @@ class QueryServer:
             "mode": mode,
             "stats": result.stats,
         }
+
+    async def _handle_update(self, body: bytes) -> tuple[int, dict]:
+        self.requests_total += 1
+        try:
+            request = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, {"error": f"body is not JSON: {exc}",
+                         "kind": "bad-update"}
+        if not isinstance(request, dict) or \
+                not isinstance(request.get("document"), str) or \
+                not isinstance(request.get("ops"), list) or \
+                not request["ops"]:
+            return 400, {"error": 'body must be {"document": "...", '
+                                  '"ops": [...]} JSON with at least '
+                                  'one op', "kind": "bad-update"}
+        try:
+            ops = [self._decode_op(raw) for raw in request["ops"]]
+        except ValueError as exc:
+            return 400, {"error": str(exc), "kind": "bad-update"}
+        except XMLParseError as exc:
+            return 400, {"error": f"bad XML fragment: {exc}",
+                         "kind": "bad-update"}
+        try:
+            await self.admission.acquire()
+        except ServerSaturatedError as exc:
+            return 503, {"error": str(exc), "kind": "saturated"}
+        try:
+            loop = asyncio.get_running_loop()
+            document = await loop.run_in_executor(
+                self._executor, self.session.database.store.update,
+                request["document"], ops)
+        except UnknownDocumentError as exc:
+            self.update_errors_total += 1
+            return 404, {"error": str(exc), "kind": "bad-document"}
+        except DeltaError as exc:
+            self.update_errors_total += 1
+            return 400, {"error": str(exc), "kind": "bad-update"}
+        except ReproError as exc:  # pragma: no cover - defensive
+            self.update_errors_total += 1
+            return 500, {"error": str(exc), "kind": "internal"}
+        finally:
+            self.admission.release()
+        self.updates_total += 1
+        return 200, {
+            "document": document.name,
+            "applied": len(ops),
+            **document.version_stats(),
+        }
+
+    @staticmethod
+    def _decode_op(raw):
+        """One JSON op object → a delta op (raises ``ValueError`` on a
+        malformed object, ``XMLParseError`` on a bad fragment)."""
+        if not isinstance(raw, dict):
+            raise ValueError("each op must be a JSON object")
+        kind = raw.get("op")
+        if kind == "insert":
+            parent, index = raw.get("parent"), raw.get("index")
+            if not isinstance(parent, int) or not isinstance(index, int):
+                raise ValueError(
+                    'insert needs integer "parent" and "index"')
+            return Insert(parent, index, QueryServer._decode_tree(raw))
+        if kind == "delete":
+            target = raw.get("target")
+            if not isinstance(target, int):
+                raise ValueError('delete needs an integer "target"')
+            return Delete(target)
+        if kind == "replace":
+            target = raw.get("target")
+            if not isinstance(target, int):
+                raise ValueError('replace needs an integer "target"')
+            return Replace(target, QueryServer._decode_tree(raw))
+        raise ValueError(f'unknown op {kind!r} (expected "insert", '
+                         f'"delete" or "replace")')
+
+    @staticmethod
+    def _decode_tree(raw):
+        xml = raw.get("xml")
+        if not isinstance(xml, str):
+            raise ValueError(f'{raw["op"]} needs an "xml" fragment '
+                             f'string')
+        return parse_document(xml).root
 
     def _coalesce_key(self, text: str, mode: str, label: str | None,
                       timeout: float | None) -> tuple:

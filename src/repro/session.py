@@ -184,7 +184,7 @@ class PreparedQuery:
     def execute(self, mode: str | None = None, label: str | None = None,
                 analyze: bool = False, tracer=None, metrics=None,
                 timeout=_UNSET, use_result_cache: bool = True,
-                workers=_UNSET) -> ExecutionResult:
+                workers=_UNSET, snapshot=None) -> ExecutionResult:
         """One request: execute the best plan (or the alternative named
         ``label``) with a fresh request-scoped context.
 
@@ -194,11 +194,17 @@ class PreparedQuery:
         describe real work).  ``timeout`` defaults to the session's
         ``default_timeout``; ``workers`` to its ``default_workers``
         (the parallel worker budget ``mode="auto"`` weighs and
-        ``mode="parallel"`` uses)."""
+        ``mode="parallel"`` uses).  ``snapshot`` (a
+        :class:`~repro.xmldb.document.StoreSnapshot`) pins the request
+        to previously captured document versions instead of the
+        store's current ones; the result-cache key then carries the
+        *pinned* versions, so old-snapshot requests neither serve nor
+        clobber entries of newer versions."""
         return self.session._execute_prepared(
             self, mode=mode, label=label, analyze=analyze,
             tracer=tracer, metrics=metrics, timeout=timeout,
-            use_result_cache=use_result_cache, workers=workers)
+            use_result_cache=use_result_cache, workers=workers,
+            snapshot=snapshot)
 
 
 class Session:
@@ -246,13 +252,21 @@ class Session:
 
     def _on_store_change(self, event: str, name: str) -> None:
         """Store mutation hook (runs under the store lock): evict every
-        result-cache entry that read the changed document, and every
         plan-cache entry compiled under a previous epoch (plans bake in
-        schema facts and access paths)."""
-        epoch = self.database.store.epoch
+        schema facts and access paths), and the result-cache entries
+        whose pinned version of the changed document is *superseded* —
+        entries keyed to the version that is still current stay put.
+        That version-awareness matters under updates: an entry
+        populated by a query pinned to the new version (or by any query
+        of an *unchanged* document) is still exact, and dropping it
+        would turn every update into a full cache flush for the name."""
+        store = self.database.store
+        epoch = store.epoch
         self._plan_cache.evict_if(lambda key: key[2] != epoch)
+        current = store.get(name).seq if name in store else None
         self._result_cache.evict_if(
-            lambda key: any(doc == name for doc, _seq in key[1]))
+            lambda key: any(doc == name and seq != current
+                            for doc, seq in key[1]))
 
     # ------------------------------------------------------------------
     # Prepare (plan cache)
@@ -289,7 +303,7 @@ class Session:
                 tracer=None, metrics=None, timeout=_UNSET,
                 ranking: str | None = None,
                 use_result_cache: bool = True,
-                workers=_UNSET) -> ExecutionResult:
+                workers=_UNSET, snapshot=None) -> ExecutionResult:
         """Prepare-and-execute in one call — the server's request path."""
         prepared, plan_hit = self._prepare(text, ranking, tracer)
         if metrics is not None:
@@ -299,16 +313,18 @@ class Session:
                                 tracer=tracer, metrics=metrics,
                                 timeout=timeout,
                                 use_result_cache=use_result_cache,
-                                workers=workers)
+                                workers=workers, snapshot=snapshot)
 
-    def _doc_versions(self, plan) -> tuple:
+    def _doc_versions(self, plan, resolver=None) -> tuple:
         """The referenced documents' ``(name, seq)`` pairs in sorted
         name order — the freshness half of the result-cache key.
-        ``collection()`` patterns are resolved against the store *at
-        key time*: every current member contributes its version, so
-        both a member's re-registration and a membership change
-        (register/unregister of a matching name) rotate the key."""
-        store = self.database.store
+        ``collection()`` patterns are resolved against ``resolver``
+        (a pinned :class:`~repro.xmldb.document.StoreSnapshot`, when
+        the request carries one; the live store otherwise) *at key
+        time*: every member contributes its version, so a member's
+        update/re-registration and a membership change (register/
+        unregister of a matching name) both rotate the key."""
+        store = self.database.store if resolver is None else resolver
         names = set(referenced_documents(plan))
         for pattern in referenced_collections(plan):
             names.update(store.collection_names(pattern))
@@ -324,7 +340,7 @@ class Session:
                           mode: str | None, label: str | None,
                           analyze: bool, tracer, metrics, timeout,
                           use_result_cache: bool,
-                          workers=_UNSET) -> ExecutionResult:
+                          workers=_UNSET, snapshot=None) -> ExecutionResult:
         mode = self.default_mode if mode is None else mode
         # Validate before the result-cache shortcut so a bogus mode
         # fails identically on hits and misses.
@@ -344,7 +360,7 @@ class Session:
         cacheable = (use_result_cache and not analyze and tracer is None)
         key = None
         if cacheable:
-            key = (alt.digest(), self._doc_versions(alt.plan))
+            key = (alt.digest(), self._doc_versions(alt.plan, snapshot))
             start = time.perf_counter()
             entry = self._result_cache.get(key)
             if entry is not None:
@@ -360,7 +376,8 @@ class Session:
                                        cached=True)
             if metrics is not None:
                 metrics.counter("session.result_cache.miss").inc()
-        result = execute(alt.plan, self.database.store, mode=mode,
+        target = self.database.store if snapshot is None else snapshot
+        result = execute(alt.plan, target, mode=mode,
                          analyze=analyze, tracer=tracer, metrics=metrics,
                          timeout=timeout, workers=workers)
         if key is not None:

@@ -12,7 +12,12 @@ This subpackage provides:
 - :mod:`repro.xmldb.dtd` — a DTD parser and the :class:`SchemaInfo`
   structural reasoner used by the unnesting optimizer's side conditions;
 - :mod:`repro.xmldb.document` — :class:`Document` and the named
-  :class:`DocumentStore` with per-document scan statistics.
+  :class:`DocumentStore` with per-document scan statistics, versioned
+  updates (:meth:`DocumentStore.update`) and MVCC snapshots
+  (:class:`StoreSnapshot`);
+- :mod:`repro.xmldb.delta` — the copy-on-write delta operations
+  (:class:`Insert`, :class:`Delete`, :class:`Replace`) and the
+  columnar splice that turns them into a successor arena version.
 """
 
 from repro.xmldb.node import Node, NodeKind
@@ -20,7 +25,14 @@ from repro.xmldb.arena import Arena
 from repro.xmldb.parser import parse_document
 from repro.xmldb.serialize import serialize
 from repro.xmldb.dtd import DTD, SchemaInfo, parse_dtd
-from repro.xmldb.document import Document, DocumentStore
+from repro.xmldb.delta import (
+    Delete,
+    DeltaError,
+    Insert,
+    Replace,
+    apply_delta,
+)
+from repro.xmldb.document import Document, DocumentStore, StoreSnapshot
 
 __all__ = [
     "Node",
@@ -31,6 +43,12 @@ __all__ = [
     "DTD",
     "SchemaInfo",
     "parse_dtd",
+    "Delete",
+    "DeltaError",
+    "Insert",
+    "Replace",
+    "apply_delta",
     "Document",
     "DocumentStore",
+    "StoreSnapshot",
 ]

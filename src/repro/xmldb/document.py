@@ -15,6 +15,7 @@ from __future__ import annotations
 import fnmatch
 import itertools
 import threading
+import weakref
 
 from repro.errors import (
     DuplicateDocumentError,
@@ -22,6 +23,8 @@ from repro.errors import (
     XMLParseError,
 )
 from repro.xmldb.arena import Arena
+from repro.xmldb.delta import Delete, Insert, Replace, affected_names, \
+    apply_delta
 from repro.xmldb.dtd import DTD, SchemaInfo, parse_dtd
 from repro.xmldb.node import Node
 from repro.xmldb.parser import parse_document
@@ -33,13 +36,19 @@ _DOC_SEQ = itertools.count()
 
 
 class Document:
-    """One named XML document plus its (optional) DTD-derived schema.
+    """One immutable *version* of a named XML document plus its
+    (optional) DTD-derived schema.
 
     Construction *finalizes* the tree: it is encoded into an
     interval-ordered :class:`~repro.xmldb.arena.Arena` (struct-of-arrays
     columns, interned tag names, pre/post/level numbering) and every
     node becomes a frozen handle into it.  Mutating the tree afterwards
-    raises :class:`~repro.errors.FrozenDocumentError`.
+    raises :class:`~repro.errors.FrozenDocumentError` — live data goes
+    through :meth:`DocumentStore.update`, which splices a *new*
+    ``Document`` version (fresh ``seq``, ``version + 1``) out of this
+    one via :mod:`repro.xmldb.delta` and publishes it in the store.
+    A reference to an old version keeps reading its own frozen columns:
+    holding a ``Document`` *is* holding an MVCC snapshot of it.
     """
 
     def __init__(self, name: str, root: Node, dtd: DTD | None = None):
@@ -47,7 +56,9 @@ class Document:
         self.root = root
         self.dtd = dtd
         #: process-wide registration rank; nodes of earlier-registered
-        #: documents sort first in multi-document sequences
+        #: documents sort first in multi-document sequences.  Every
+        #: version gets a fresh ``seq`` — caches and shared-memory
+        #: exports key on ``(name, seq)``.
         self.seq = next(_DOC_SEQ)
         self.schema: SchemaInfo | None = None
         if dtd is not None:
@@ -57,8 +68,84 @@ class Document:
         #: ``(context steps, relative steps)`` — see
         #: :func:`repro.optimizer.properties.value_order_guarantee`.
         #: Living on the document (not the store) makes the cache's
-        #: lifetime the document's, and the freeze makes it sound.
+        #: lifetime the version's, and the freeze makes it sound;
+        #: delta versions carry entries forward when the splice provably
+        #: did not touch the named tags.
         self.order_guarantees: dict[tuple, bool] = {}
+        #: version-chain bookkeeping (see ``docs/updates.md``)
+        self.version = 0
+        self.base_rows = len(self.arena.kinds)
+        self.delta_counts = {"insert": 0, "delete": 0, "replace": 0}
+        self.delta_chain: list[dict] = []
+        self.compaction_watermark = 0
+
+    @classmethod
+    def _next_version(cls, old: "Document", arena: Arena,
+                      records) -> "Document":
+        """Wrap a spliced arena as the successor version of ``old``:
+        no re-parse, no re-encode, caches carried forward where the
+        splice records prove them untouched."""
+        doc = cls.__new__(cls)
+        doc.name = old.name
+        doc.dtd = old.dtd
+        doc.schema = old.schema
+        doc.seq = next(_DOC_SEQ)
+        doc.arena = arena
+        arena.document = doc
+        doc.root = arena.nodes[0]
+        structural, value = affected_names(records)
+        doc.order_guarantees = {
+            key: verdict
+            for key, verdict in old.order_guarantees.items()
+            if _carries_forward(key, value)
+        }
+        # Flatness only depends on which rows carry a tag, so verdicts
+        # survive for tags with no removed/inserted rows.  (A delete can
+        # leave a stale ``False`` for an untouched tag — flatness may
+        # only *improve* — which is conservative: the range partitioner
+        # just declines an optimization it could now take.)
+        arena._flat_tags = {
+            tag: flat for tag, flat in old.arena._flat_tags.items()
+            if tag not in structural
+        }
+        doc.version = old.version + 1
+        doc.base_rows = old.base_rows
+        counts = dict(old.delta_counts)
+        ops = {"insert": 0, "delete": 0, "replace": 0}
+        for record in records:
+            counts[record.kind] += 1
+            ops[record.kind] += 1
+        doc.delta_counts = counts
+        entry = {"version": doc.version, "rows": len(arena.kinds),
+                 "ops": ops}
+        doc.delta_chain = old.delta_chain + [entry]
+        doc.compaction_watermark = old.compaction_watermark
+        return doc
+
+    def compact(self) -> None:
+        """Fold the recorded delta chain into the current version.
+
+        Versions are fully materialized (readers never chase an overlay
+        chain), so compaction is pure bookkeeping: the chain resets, the
+        watermark advances to this version, and the current row count
+        becomes the new base size that future ``repro stats`` chains
+        report against."""
+        self.delta_chain = []
+        self.compaction_watermark = self.version
+        self.base_rows = len(self.arena.kinds)
+
+    def version_stats(self) -> dict:
+        """Version-chain summary for ``repro stats`` and ``/stats``."""
+        return {
+            "seq": self.seq,
+            "version": self.version,
+            "rows": len(self.arena.kinds),
+            "base_rows": self.base_rows,
+            "delta_counts": dict(self.delta_counts),
+            "chain_length": len(self.delta_chain),
+            "delta_chain": [dict(entry) for entry in self.delta_chain],
+            "compaction_watermark": self.compaction_watermark,
+        }
 
     @property
     def element_count(self) -> int:
@@ -66,7 +153,24 @@ class Document:
         return self.arena.element_count
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Document {self.name!r} root={self.root.name!r}>"
+        return f"<Document {self.name!r} root={self.root.name!r} " \
+               f"v{self.version}>"
+
+
+def _carries_forward(key: tuple, affected_value: frozenset) -> bool:
+    """Does a cached order-guarantee entry survive an update?  Only when
+    every tag the key's context and relative steps name is provably
+    untouched (rows and string values alike); wildcard or unrecognized
+    steps are dropped rather than guessed about."""
+    for steps in key:
+        for step in steps:
+            try:
+                _axis, name = step
+            except (TypeError, ValueError):
+                return False
+            if not isinstance(name, str) or name in affected_value:
+                return False
+    return True
 
 
 class ScanStats:
@@ -180,10 +284,10 @@ class DocumentStore:
     :mod:`repro.index`.
 
     **Concurrency contract.**  The store is safe to share between
-    threads and asyncio tasks under one rule: *registration mutates,
-    everything else reads frozen state.*
+    threads and asyncio tasks under one rule: *mutation replaces,
+    readers pin.*
 
-    - :meth:`register_text` / :meth:`register_tree` /
+    - :meth:`register_text` / :meth:`register_tree` / :meth:`update` /
       :meth:`unregister` serialize under an internal :class:`threading.
       RLock`; each mutation bumps :attr:`epoch` (a monotone counter
       cache layers key on) and notifies registered listeners *while
@@ -191,38 +295,50 @@ class DocumentStore:
       the same thread (the lock is reentrant) but must not block.
     - Reads (:meth:`get`, :meth:`names`, :meth:`schema_for`, arena
       column access, name-table lookups) are lock-free: a
-      :class:`Document` is fully finalized — arena columns built, tag
-      names interned into the arena's private table, string-value cache
-      populated lazily but idempotently — *before* it is published into
-      the name map, and is immutable afterwards
-      (:class:`~repro.errors.FrozenDocumentError` guards mutation), so
-      a reader either sees the complete document or none at all.
+      :class:`Document` version is fully finalized — arena columns
+      built, tag names interned into the arena's private table,
+      string-value cache populated lazily but idempotently — *before*
+      it is published into the name map, and is immutable afterwards
+      (:class:`~repro.errors.FrozenDocumentError` guards in-place
+      mutation; :meth:`update` publishes a brand-new version instead),
+      so a reader either sees a complete version or none at all.
+    - **Snapshot isolation.**  :meth:`snapshot` captures the name→
+      version map at one instant; executions run against the snapshot
+      (the executor pins one per query), so a concurrent :meth:`update`
+      never changes what a running query reads — it reads version N
+      throughout even while the store moves on to N+1.  Holding any
+      ``Document`` reference gives the same guarantee per document.
     - The shared cumulative :attr:`stats` tally is only mutated through
       :meth:`absorb_stats`, which takes the same lock; per-request
       :class:`ScanStats` instances are never shared, so execution never
       contends on counters.
     """
 
-    def __init__(self, index_mode: str = "off"):
+    def __init__(self, index_mode: str = "off", compact_every: int = 16):
         from repro.index.manager import IndexManager
         self._documents: dict[str, Document] = {}
         self.stats = ScanStats()
         self.indexes = IndexManager(self, index_mode)
-        #: bumped on every register/unregister; session-layer plan
-        #: caches key on it so any physical-design or schema change
+        #: bumped on every register/update/unregister; session-layer
+        #: plan caches key on it so any physical-design or schema change
         #: invalidates compiled plans wholesale
         self.epoch = 0
+        #: fold a document's delta chain once it reaches this many
+        #: update entries (see :meth:`Document.compact`)
+        self.compact_every = compact_every
         self._lock = threading.RLock()
         self._listeners: list = []
+        self._snapshots: "weakref.WeakSet[StoreSnapshot]" = \
+            weakref.WeakSet()
 
     # ------------------------------------------------------------------
     # Mutation listeners (cache invalidation hooks)
     # ------------------------------------------------------------------
     def add_listener(self, callback) -> None:
         """Register ``callback(event, name)`` to run on every mutation
-        (``event`` is ``"register"`` or ``"unregister"``), under the
-        store lock — sessions use this to evict result-cache entries of
-        the changed document."""
+        (``event`` is ``"register"``, ``"update"`` or ``"unregister"``),
+        under the store lock — sessions use this to evict cache entries
+        of superseded document versions."""
         with self._lock:
             self._listeners.append(callback)
 
@@ -299,6 +415,55 @@ class DocumentStore:
             self._notify("unregister", name)
 
     # ------------------------------------------------------------------
+    # Updates (copy-on-write versioning)
+    # ------------------------------------------------------------------
+    def update(self, name: str, ops) -> Document:
+        """Apply insert/delete/replace-subtree operations to ``name``
+        and publish the result as a new document version.
+
+        ``ops`` is one :class:`~repro.xmldb.delta.Insert` /
+        :class:`~repro.xmldb.delta.Delete` /
+        :class:`~repro.xmldb.delta.Replace` or a sequence of them,
+        applied atomically: readers see either the old version or the
+        new one, never an intermediate state.  The old version stays
+        fully readable for whoever pinned it (MVCC); indexes are
+        maintained incrementally from the splice records instead of
+        being rebuilt; the delta chain is compacted every
+        :attr:`compact_every` updates.  Returns the new version."""
+        if isinstance(ops, (Insert, Delete, Replace)):
+            ops = [ops]
+        with self._lock:
+            if name not in self._documents:
+                raise UnknownDocumentError(name, list(self._documents))
+            old = self._documents[name]
+            arena, records = apply_delta(old, ops)
+            new = Document._next_version(old, arena, records)
+            if len(new.delta_chain) >= self.compact_every:
+                new.compact()
+            self._documents[name] = new
+            self.indexes.on_update(old, new, records)
+            self.epoch += 1
+            self._notify("update", name)
+        return new
+
+    def snapshot(self) -> "StoreSnapshot":
+        """Pin the current version of every document.
+
+        The returned :class:`StoreSnapshot` resolves names against the
+        captured version map no matter what the store does afterwards —
+        the executor takes one per query so concurrent updates cannot
+        tear a running execution across versions."""
+        with self._lock:
+            snap = StoreSnapshot(self, dict(self._documents), self.epoch)
+            self._snapshots.add(snap)
+        return snap
+
+    def live_snapshot_count(self) -> int:
+        """Snapshots currently held somewhere (weakly tracked — exposed
+        by ``repro serve`` ``/stats`` as a gauge of pinned versions)."""
+        return len(self._snapshots)
+
+    # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
     def get(self, name: str) -> Document:
@@ -341,3 +506,97 @@ class DocumentStore:
         except XMLParseError:
             return False
         return True
+
+
+class StoreSnapshot:
+    """An immutable view of a :class:`DocumentStore` at one instant.
+
+    Name resolution (:meth:`get`, :meth:`collection`, membership) runs
+    against the captured name→version map, so a query executing over a
+    snapshot reads one consistent set of versions end to end.  Index
+    probes resolve against the *pinned* versions
+    (:class:`_SnapshotIndexes`); statistics accounting and pool
+    plumbing delegate to the live store (:attr:`store`), which is
+    deliberate — counters and worker processes are process-wide, only
+    *data* is version-pinned.  ``snapshot()`` returns ``self`` so the
+    executor can pin uniformly whether handed a store or an
+    already-pinned snapshot."""
+
+    __slots__ = ("store", "documents", "epoch", "_indexes", "__weakref__")
+
+    def __init__(self, store: DocumentStore,
+                 documents: dict[str, Document], epoch: int):
+        self.store = store
+        self.documents = documents
+        self.epoch = epoch
+        self._indexes = None
+
+    # -- pinned resolution -------------------------------------------------
+    def get(self, name: str) -> Document:
+        if name not in self.documents:
+            raise UnknownDocumentError(name, list(self.documents))
+        return self.documents[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.documents
+
+    def names(self) -> list[str]:
+        return sorted(self.documents)
+
+    def collection(self, pattern: str) -> list[Document]:
+        matches = [doc for name, doc in self.documents.items()
+                   if fnmatch.fnmatchcase(name, pattern)]
+        matches.sort(key=lambda doc: doc.seq)
+        return matches
+
+    def collection_names(self, pattern: str) -> list[str]:
+        return [doc.name for doc in self.collection(pattern)]
+
+    def schema_for(self, name: str) -> SchemaInfo | None:
+        return self.get(name).schema
+
+    def versions(self) -> dict[str, int]:
+        """``name → seq`` of every pinned version (cache keys)."""
+        return {name: doc.seq for name, doc in self.documents.items()}
+
+    def snapshot(self) -> "StoreSnapshot":
+        return self
+
+    # -- live-store delegation ---------------------------------------------
+    @property
+    def stats(self) -> ScanStats:
+        return self.store.stats
+
+    def absorb_stats(self, stats: ScanStats) -> None:
+        self.store.absorb_stats(stats)
+
+    @property
+    def indexes(self) -> "_SnapshotIndexes":
+        if self._indexes is None:
+            self._indexes = _SnapshotIndexes(self)
+        return self._indexes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<StoreSnapshot epoch={self.epoch} " \
+               f"versions={self.versions()}>"
+
+
+class _SnapshotIndexes:
+    """Index facade of a snapshot: probes resolve against the pinned
+    document versions; everything else (mode flags, estimates, build
+    counters) delegates to the live :class:`~repro.index.manager.
+    IndexManager`."""
+
+    __slots__ = ("_snapshot",)
+
+    def __init__(self, snapshot: StoreSnapshot):
+        self._snapshot = snapshot
+
+    def probe(self, probe, stats: ScanStats | None = None):
+        snap = self._snapshot
+        document = snap.documents.get(probe.doc)
+        return snap.store.indexes.probe(probe, stats=stats,
+                                        document=document)
+
+    def __getattr__(self, attr):
+        return getattr(self._snapshot.store.indexes, attr)

@@ -195,6 +195,7 @@ def export_document(document) -> ShmExport:
         "segment": segment.name,
         "doc": document.name,
         "seq": document.seq,
+        "version": getattr(document, "version", 0),
         "rows": rows,
         "names": list(arena.names),
         "tag_spans": tag_spans,
@@ -414,6 +415,13 @@ def attach_document(manifest: dict):
     document.schema = None
     document.seq = manifest["seq"]
     document.order_guarantees = {}
+    # Version-chain bookkeeping is parent-side state; the worker shell
+    # is a single frozen version, so it reports a bare chain.
+    document.version = manifest.get("version", 0)
+    document.base_rows = manifest.get("rows", 0)
+    document.delta_counts = {"insert": 0, "delete": 0, "replace": 0}
+    document.delta_chain = []
+    document.compaction_watermark = document.version
     document.arena = arena
     arena.document = document
     document.root = arena.nodes[0] if len(arena) else None

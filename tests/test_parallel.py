@@ -208,8 +208,9 @@ def test_unregister_unlinks_segment_and_close_unlinks_all():
     plan = best_plan(db, DOCS_QUERIES["scan"])
     db.execute(plan, mode="parallel", workers=2)
     pool = parallel.get_pool(db.store)
-    segments = {name: export.manifest["segment"]
-                for name, export in pool._exports.items()}
+    # export keys are (document name, version seq) pairs
+    segments = {key[0]: export.manifest["segment"]
+                for key, export in pool._exports.items()}
     assert segments, "parallel run must have exported documents"
 
     victim = "shard-1.xml"
